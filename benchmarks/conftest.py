@@ -1,0 +1,23 @@
+"""Shared helpers for the paper-regeneration benchmark harness.
+
+Every module in this directory regenerates one table or figure from the
+paper: it runs the (scaled-down) experiment inside the pytest-benchmark
+fixture, prints the same rows/series the paper reports, and asserts the
+qualitative *shape* — who wins, by roughly what factor — rather than
+absolute numbers (the substrate is a simulator, not Meta's testbed).
+
+Run with:  pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_experiment(benchmark, fn):
+    """Run ``fn`` once under pytest-benchmark and return its result.
+
+    The experiments are deterministic simulations; a single round both
+    times the harness and produces the figure data.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,56 @@
+"""Ablation — issue-path hweight caching (DESIGN.md §4).
+
+IOCost keeps tree walks off the hot path by caching each group's hweight
+against the weight-tree generation number.  This microbenchmark measures
+the real Python cost of the issue-path hweight lookup with the cache warm
+versus with the generation bumped before every lookup (forcing the
+recursive recomputation a naive design would pay per IO), on a deep
+hierarchy.
+"""
+
+import pytest
+
+from repro.cgroup import CgroupTree
+from repro.core.hierarchy import WeightTree
+
+
+def build_deep_tree(depth=6, fanout=4):
+    cgroups = CgroupTree()
+    tree = WeightTree()
+    path = ""
+    # One deep chain with `fanout` siblings at each level.
+    for level in range(depth):
+        for sibling in range(fanout):
+            sibling_path = f"{path}n{level}s{sibling}" if not path else f"{path}/n{level}s{sibling}"
+            group = cgroups.get_or_create(sibling_path, weight=100)
+            state = tree.state_of(group)
+            if not state.children:
+                tree.activate(state)
+        path = f"{path}n{level}s0" if not path else f"{path}/n{level}s0"
+    leaf = tree.state_of(cgroups.lookup(path))
+    tree.activate(leaf)
+    return tree, leaf
+
+
+@pytest.fixture(scope="module")
+def deep_tree():
+    return build_deep_tree()
+
+
+def test_ablation_cached_hweight(benchmark, deep_tree):
+    tree, leaf = deep_tree
+    tree.hweight(leaf)  # warm the cache
+
+    result = benchmark(tree.hweight, leaf)
+    assert 0 < result <= 1
+
+
+def test_ablation_uncached_hweight(benchmark, deep_tree):
+    tree, leaf = deep_tree
+
+    def uncached():
+        tree.bump()  # invalidate: forces the full recursive recomputation
+        return tree.hweight(leaf)
+
+    result = benchmark(uncached)
+    assert 0 < result <= 1

@@ -1,0 +1,105 @@
+"""Figure 12 — Fairness with random and sequential workloads on a spinning
+disk.
+
+Two workloads (weights 2:1) issue 4 KiB reads on the HDD model in three
+scenarios: rand/rand, rand/seq (high-priority random), seq/seq.  Throughput
+is normalised to each pattern's standalone peak.
+
+Paper shape: mq-deadline ignores weights entirely; BFQ holds 2:1 for
+seq/seq but misallocates when random IO is involved; IOCost holds the 2:1
+occupancy ratio in every scenario because its cost model prices seeks.
+"""
+
+import pytest
+
+from repro.analysis.report import Table
+from repro.block.device_models import HDD
+from repro.core.qos import QoSParams
+from repro.testbed import Testbed
+
+from benchmarks.conftest import run_experiment
+
+DURATION = 20.0
+
+# Standalone 4 KiB peaks of the HDD model.
+RAND_PEAK = 1 / HDD.srv_rand_read          # ~143 IOPS
+SEQ_PEAK = 1 / HDD.srv_seq_read            # ~43K IOPS
+
+# vrate pinned at the QoS-tuned operating point for this disk.  The
+# linear model cannot price the *detour* seeks a random stream inflicts on
+# a sequential one, so the tuned vrate sits well under 1.0 — exactly the
+# role the paper assigns to QoS tuning (SS3.4).
+QOS = QoSParams(
+    read_lat_target=None, write_lat_target=None,
+    vrate_min=0.45, vrate_max=0.45, period=0.1,
+)
+
+SCENARIOS = {
+    "rand/rand": (False, False),
+    "rand/seq": (False, True),
+    "seq/seq": (True, True),
+}
+
+
+def normalised(iops, sequential):
+    return iops / (SEQ_PEAK if sequential else RAND_PEAK)
+
+
+def run_one(controller, high_seq, low_seq):
+    testbed = Testbed(device=HDD, controller=controller, qos=QOS, seed=5)
+    high = testbed.add_cgroup("workload.slice/high", weight=200)
+    low = testbed.add_cgroup("workload.slice/low", weight=100)
+    wl_high = testbed.saturate(high, sequential=high_seq, depth=16, stop_at=DURATION)
+    wl_low = testbed.saturate(low, sequential=low_seq, depth=16, stop_at=DURATION)
+    testbed.run(DURATION)
+    testbed.detach()
+    return (
+        normalised(wl_high.completed / DURATION, high_seq),
+        normalised(wl_low.completed / DURATION, low_seq),
+    )
+
+
+def run_all():
+    results = {}
+    for controller in ("mq-deadline", "bfq", "iocost"):
+        for scenario, (high_seq, low_seq) in SCENARIOS.items():
+            results[(controller, scenario)] = run_one(controller, high_seq, low_seq)
+    return results
+
+
+def test_fig12_spinning_disk_fairness(benchmark):
+    results = run_experiment(benchmark, run_all)
+
+    table = Table(
+        "Figure 12: spinning-disk fairness (weights 2:1, normalised throughput)",
+        ["mechanism", "scenario", "high (norm)", "low (norm)", "norm ratio"],
+    )
+    for (controller, scenario), (high, low) in results.items():
+        table.add_row(
+            controller, scenario, f"{high:.3f}", f"{low:.3f}",
+            f"{high / max(low, 1e-9):.2f}",
+        )
+    table.print()
+
+    def ratio(controller, scenario):
+        high, low = results[(controller, scenario)]
+        return high / max(low, 1e-9)
+
+    # IOCost holds roughly 2:1 occupancy in every scenario (the residual
+    # drift in rand/seq comes from the detour seeks the linear model
+    # cannot price; vrate absorbs them globally, not per-group).
+    for scenario in SCENARIOS:
+        assert 1.5 < ratio("iocost", scenario) < 3.3, scenario
+
+    # mq-deadline cannot provide the 2:1 ratio in any scenario: equal
+    # split for same-pattern pairs, collapse of the sequential stream in
+    # the mixed case.
+    for scenario in SCENARIOS:
+        assert abs(ratio("mq-deadline", scenario) - 2.0) > 0.5, scenario
+
+    # BFQ: close to 2:1 for seq/seq, under-serves the weighted group in
+    # rand/rand, and over-allocates occupancy to the random workload in
+    # the mixed case (ratio well beyond the 2:1 target).
+    assert ratio("bfq", "seq/seq") == pytest.approx(2.0, rel=0.35)
+    assert ratio("bfq", "rand/rand") < 1.9
+    assert ratio("bfq", "rand/seq") > 2.4

@@ -1,0 +1,103 @@
+"""Figure 13 — Vrate adjustment due to model inaccuracy.
+
+A workload saturates the newer-generation commercial SSD with 4 KiB random
+reads under a p90 read-latency QoS target.  Mid-run the cost-model
+parameters are updated online:
+
+* phase 1 — accurate parameters: vrate hovers near 100%;
+* phase 2 — parameters halved (device claimed half as capable): the issue
+  rate drops, then vrate climbs to ~200% to restore it while holding QoS;
+* phase 3 — parameters doubled versus the original: the device briefly
+  over-saturates (latency spike), then vrate drops to ~50%.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.report import Table
+from repro.block.device import Device
+from repro.block.device_models import SSD_NEW
+from repro.block.layer import BlockLayer
+from repro.cgroup import CgroupTree
+from repro.core.controller import IOCost
+from repro.core.cost_model import LinearCostModel, ModelParams
+from repro.core.qos import QoSParams
+from repro.sim import Simulator
+from repro.workloads.synthetic import ClosedLoopWorkload
+
+from benchmarks.conftest import run_experiment
+
+# 1/10-speed ssd_new keeps the event count tractable; relative behaviour
+# (model error vs vrate) is scale-free.
+SPEC = SSD_NEW.scaled(0.1)
+PHASE = 4.0  # seconds per phase
+LATENCY_TARGET = 2.5e-3  # p90 read target, scaled like the device
+
+
+def run_phases():
+    sim = Simulator()
+    device = Device(sim, SPEC, np.random.default_rng(2))
+    accurate = ModelParams.from_device_spec(SPEC)
+    model = LinearCostModel(accurate)
+    qos = QoSParams(
+        read_lat_target=LATENCY_TARGET,
+        read_pct=90,
+        write_lat_target=None,
+        vrate_min=0.1,
+        vrate_max=4.0,
+        period=0.05,
+    )
+    controller = IOCost(model, qos=qos)
+    layer = BlockLayer(sim, device, controller)
+    group = CgroupTree().create("fio")
+    ClosedLoopWorkload(sim, layer, group, depth=64, stop_at=3 * PHASE, seed=1).start()
+
+    sim.run(until=PHASE)
+    model.replace_params(accurate.scaled(0.5))  # claim half the capability
+    sim.run(until=2 * PHASE)
+    model.replace_params(accurate.scaled(2.0))  # claim double the original
+    sim.run(until=3 * PHASE)
+    controller.detach()
+
+    series = controller.vrate_ctl.vrate_series
+    lat_series = controller.vrate_ctl.read_lat_series
+
+    def tail_mean(series, start, end):
+        values = series.slice(start, end)
+        tail = values[len(values) // 2 :]
+        return sum(tail) / len(tail)
+
+    return {
+        "vrate_phase1": tail_mean(series, 0, PHASE),
+        "vrate_phase2": tail_mean(series, PHASE, 2 * PHASE),
+        "vrate_phase3": tail_mean(series, 2 * PHASE, 3 * PHASE),
+        "p90_phase1": tail_mean(lat_series, 0, PHASE),
+        "p90_phase2": tail_mean(lat_series, PHASE, 2 * PHASE),
+        "p90_phase3": tail_mean(lat_series, 2 * PHASE, 3 * PHASE),
+    }
+
+
+def test_fig13_vrate_adjustment(benchmark):
+    result = run_experiment(benchmark, run_phases)
+
+    table = Table(
+        "Figure 13: vrate adjustment under online model updates",
+        ["phase", "model params", "steady vrate", "steady read p90"],
+    )
+    table.add_row("1", "accurate", f"{result['vrate_phase1']:.2f}",
+                  f"{result['p90_phase1'] * 1e3:.2f}ms")
+    table.add_row("2", "halved", f"{result['vrate_phase2']:.2f}",
+                  f"{result['p90_phase2'] * 1e3:.2f}ms")
+    table.add_row("3", "doubled", f"{result['vrate_phase3']:.2f}",
+                  f"{result['p90_phase3'] * 1e3:.2f}ms")
+    table.print()
+
+    # Phase 1: near 100%.
+    assert result["vrate_phase1"] == pytest.approx(1.0, rel=0.3)
+    # Phase 2: roughly double phase 1 (compensating halved parameters).
+    assert result["vrate_phase2"] == pytest.approx(2 * result["vrate_phase1"], rel=0.3)
+    # Phase 3: roughly half phase 1 (compensating doubled parameters).
+    assert result["vrate_phase3"] == pytest.approx(0.5 * result["vrate_phase1"], rel=0.35)
+    # QoS is maintained in steady state in every phase.
+    for phase in ("p90_phase1", "p90_phase2", "p90_phase3"):
+        assert result[phase] < 1.5 * LATENCY_TARGET, phase

@@ -1,0 +1,69 @@
+"""Figure 19 — Container-cleanup failures across a region migration.
+
+Same migration model as Figure 18, for the btrfs container-cleanup task:
+metadata IO from ``hostcritical.slice`` under a saturating main workload,
+counted as a failure when it takes longer than 5 seconds.
+
+Paper shape: an immediate ~3x reduction in cleanup stalls as the region
+moves to IOCost.
+"""
+
+import pytest
+
+from repro.analysis.report import Table
+from repro.workloads.fleet import (
+    CONTAINER_CLEANUP,
+    FleetMigration,
+    measure_task_durations,
+)
+
+from benchmarks.conftest import run_experiment
+from benchmarks.test_fig18_package_fetch import (
+    FLEET_SPEC,
+    MIGRATION_SCHEDULE,
+    iocost_factory,
+    iolatency_factory,
+)
+
+
+def run_migration():
+    old = measure_task_durations(
+        FLEET_SPEC, iolatency_factory, CONTAINER_CLEANUP, samples=10, seed=2
+    )
+    new = measure_task_durations(
+        FLEET_SPEC, iocost_factory, CONTAINER_CLEANUP, samples=10, seed=2
+    )
+    fleet = FleetMigration(
+        old, new, deadline=CONTAINER_CLEANUP.deadline,
+        machines=3000, tasks_per_machine_week=10, seed=43,
+    )
+    return fleet.run(MIGRATION_SCHEDULE), old, new
+
+
+def test_fig19_container_cleanup_failures(benchmark):
+    reports, old, new = run_experiment(benchmark, run_migration)
+
+    table = Table(
+        "Figure 19: container-cleanup failures (>5s) during the migration",
+        ["week", "on iocost", "attempts", "failures", "rate"],
+    )
+    for report in reports:
+        table.add_row(
+            report.week,
+            f"{report.migrated_fraction:.0%}",
+            report.attempts,
+            report.failures,
+            f"{report.failure_rate:.2%}",
+        )
+    table.print()
+    print(
+        f"task duration medians: iolatency={sorted(old)[len(old) // 2]:.2f}s "
+        f"iocost={sorted(new)[len(new) // 2]:.2f}s (deadline {CONTAINER_CLEANUP.deadline}s)"
+    )
+
+    first, last = reports[0], reports[-1]
+    assert first.failures > 0
+    # Paper: roughly a 3x reduction in stalls.
+    assert last.failures < first.failures / 2.5
+    rates = [report.failure_rate for report in reports]
+    assert all(b <= a * 1.25 for a, b in zip(rates, rates[1:]))

@@ -1,0 +1,58 @@
+"""Table 1 — Linux IO control mechanisms and features.
+
+Regenerates the paper's feature matrix from each controller's declared
+capability flags and cross-checks the two rows that differ from common
+intuition behaviourally elsewhere in the suite (blk-throttle's partial
+overhead, iolatency's partial work conservation).
+"""
+
+from repro.analysis.report import Table
+from repro.controllers import CONTROLLER_CLASSES, TABLE1_CONTROLLERS
+
+from benchmarks.conftest import run_experiment
+
+MARKS = {"yes": "yes", "no": "no", "partial": "~"}
+
+
+def build_table():
+    table = Table(
+        "Table 1: Linux IO control mechanisms and features",
+        [
+            "Mechanism",
+            "Low Overhead",
+            "Work Conserving",
+            "MM-aware",
+            "Proportional",
+            "cgroup Control",
+        ],
+    )
+    rows = {}
+    for cls in TABLE1_CONTROLLERS:
+        feats = cls.features
+        row = (
+            MARKS[feats.low_overhead],
+            MARKS[feats.work_conserving],
+            MARKS[feats.memory_management_aware],
+            MARKS[feats.proportional_fairness],
+            MARKS[feats.cgroup_control],
+        )
+        rows[cls.name] = row
+        table.add_row(cls.name, *row)
+    return table, rows
+
+
+def test_table1_feature_matrix(benchmark):
+    table, rows = run_experiment(benchmark, build_table)
+    table.print()
+
+    # The paper's rows, verbatim.
+    assert rows["kyber"] == ("yes", "yes", "no", "no", "no")
+    assert rows["mq-deadline"] == ("yes", "yes", "no", "no", "no")
+    assert rows["blk-throttle"] == ("~", "no", "no", "no", "yes")
+    assert rows["bfq"] == ("no", "yes", "no", "yes", "yes")
+    assert rows["iolatency"] == ("yes", "~", "yes", "no", "yes")
+    assert rows["iocost"] == ("yes", "yes", "yes", "yes", "yes")
+
+    # Only IOCost checks every box.
+    full_rows = [name for name, row in rows.items() if set(row) == {"yes"}]
+    assert full_rows == ["iocost"]

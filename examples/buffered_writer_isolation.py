@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Containing a bulk buffered writer through dirty throttling + IOCost.
+
+A low-weight container writes as fast as it can through the page cache
+while a high-weight latency-sensitive container reads.  Buffered writes
+never hit the device synchronously, so the *only* way to contain the
+writer is the chain the kernel actually uses: the IO controller paces the
+writer's **writeback**, writeback backlog keeps its **dirty pages** near
+the limit, and ``balance_dirty_pages`` blocks the writer at the syscall
+boundary.
+
+Run:  python examples/buffered_writer_isolation.py
+"""
+
+from repro.analysis.report import Table, format_si
+from repro.core.qos import QoSParams
+from repro.mm.pagecache import PageCache
+from repro.testbed import Testbed
+
+MB = 1024 * 1024
+DURATION = 4.0
+
+
+def run_once(controller_name: str):
+    qos = QoSParams(
+        read_lat_target=1e-3, read_pct=90,
+        vrate_min=0.5, vrate_max=1.2, period=0.05,
+    )
+    testbed = Testbed(device="ssd_old", controller=controller_name, qos=qos, seed=23)
+    cache = PageCache(
+        testbed.sim, testbed.layer,
+        background_bytes=8 * MB, limit_bytes=32 * MB,
+    )
+    bulk = testbed.add_cgroup("system.slice/bulk", weight=25)
+    reader_group = testbed.add_cgroup("workload.slice/reader", weight=500)
+    reader = testbed.saturate(reader_group, depth=8, stop_at=DURATION)
+
+    written = {"bytes": 0}
+
+    def firehose():
+        while testbed.sim.now < DURATION:
+            yield from cache.buffered_write(bulk, 2 * MB)
+            written["bytes"] += 2 * MB
+
+    testbed.sim.process(firehose())
+    testbed.run(DURATION)
+    testbed.detach()
+    p99 = reader.recent_percentile(99, last=2000)
+    return {
+        "write_rate": written["bytes"] / DURATION,
+        "reader_iops": reader.completed / DURATION,
+        "reader_p99": p99,
+        "throttled": cache.state_of(bulk).throttled_time,
+    }
+
+
+def main() -> None:
+    table = Table(
+        "Bulk buffered writer (weight 25) vs latency-sensitive reader (weight 500)",
+        ["controller", "writer MB/s", "writer blocked (s)", "reader IOPS", "reader p99"],
+    )
+    for name in ("none", "iocost"):
+        print(f"running {name}...")
+        row = run_once(name)
+        table.add_row(
+            name,
+            f"{row['write_rate'] / MB:.0f}",
+            f"{row['throttled']:.1f}",
+            format_si(row["reader_iops"]),
+            f"{row['reader_p99'] * 1e6:.0f}us",
+        )
+    table.print()
+    print(
+        "\nwith iocost, the writer's writeback is paced to its weight share"
+        " plus whatever the depth-limited reader donates (work conservation);"
+        " the dirty limit then blocks the writer itself (balance_dirty_pages),"
+        " and the reader's throughput and latency recover."
+    )
+
+
+if __name__ == "__main__":
+    main()

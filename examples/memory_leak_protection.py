@@ -1,0 +1,96 @@
+#!/usr/bin/env python
+"""Protecting a latency-sensitive web server from a memory leak (Fig 14).
+
+A web server fills most of a machine's memory while system services leak
+memory in ``system.slice``.  Kswapd and direct reclaim push pages to swap
+through the shared (old-generation) SSD; how the IO controller treats that
+reclaim writeback decides whether the web server thrashes:
+
+* non-MM-aware mechanisms (mq-deadline, bfq) see the swap storm in the
+  reclaim context and cannot protect the web server's fault path;
+* iolatency protects via its latency target (when the target happens to be
+  tuned right for this device);
+* iocost charges the storm to the leaking slice as debt and throttles the
+  leaker at the return-to-userspace boundary (§3.5).
+
+Run:  python examples/memory_leak_protection.py
+"""
+
+from repro.analysis.report import Table
+from repro.core.qos import QoSParams
+from repro.testbed import Testbed
+from repro.workloads.memleak import MemoryLeaker
+from repro.workloads.rcbench import WebServer
+
+MB = 1024 * 1024
+DURATION = 25.0
+MEM = 1024 * MB
+
+
+def run_once(controller_name: str, with_leak: bool, **controller_kwargs) -> float:
+    qos = QoSParams(
+        read_lat_target=5e-3, read_pct=90, vrate_min=0.4, vrate_max=2.0, period=0.05
+    )
+    testbed = Testbed(
+        device="ssd_old",
+        controller=controller_name,
+        qos=qos,
+        mem_bytes=MEM,
+        swap_bytes=8192 * MB,
+        # Production pairs IO control with partial memory.low protection of
+        # the workload slice (paper SS5: "comprehensive isolation only by
+        # doing both memory and IO controls together").
+        protected={"workload.slice/web": 320 * MB},
+        seed=7,
+        **controller_kwargs,
+    )
+    web_group = testbed.add_cgroup("workload.slice/web", weight=500)
+    web = WebServer(
+        testbed.sim, testbed.layer, testbed.mm, web_group,
+        working_set=640 * MB, load=0.9, workers=8,
+        touch_per_request=512 * 1024, stop_at=DURATION,
+    ).start()
+    if with_leak:
+        for index in range(3):
+            MemoryLeaker(
+                testbed.sim, testbed.layer, testbed.mm,
+                testbed.cgroups.lookup("system.slice"),
+                rate_bps=1024 * MB, chunk=8 * MB,
+                stop_at=DURATION, seed=100 + index,
+            ).start()
+    testbed.run(DURATION)
+    testbed.detach()
+    # Steady-state RPS over the second half of the run.
+    return web.rps_series.mean(10.0, DURATION)
+
+
+def main() -> None:
+    print("measuring baseline (no leak) under iocost...")
+    baseline = run_once("iocost", with_leak=False)
+    print(f"baseline web-server throughput: {baseline:,.0f} RPS\n")
+
+    configs = [
+        ("mq-deadline", {}),
+        ("bfq", {}),
+        # A fleet-generic iolatency target; see the paper's §5 on how
+        # per-device target tuning is what made iolatency unmanageable.
+        ("iolatency", {"targets": {"workload.slice/web": 10e-3}}),
+        ("iocost", {}),
+    ]
+    table = Table(
+        "Web-server RPS retained while system services leak memory",
+        ["controller", "RPS", "retained"],
+    )
+    for name, kwargs in configs:
+        print(f"running {name} + memory leak...")
+        rps = run_once(name, with_leak=True, **kwargs)
+        table.add_row(name, f"{rps:,.0f}", f"{rps / baseline:.0%}")
+    table.print()
+    print(
+        "\npaper shape (Figure 14): bfq collapses, mq-deadline suffers,"
+        " iolatency holds moderately, iocost retains >= 80%."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+"""repro — a reproduction of *IOCost: Block IO Control for Containers in
+Datacenters* (Heo et al., ASPLOS 2022).
+
+The package implements the IOCost controller (device cost model, vtime
+throttling, budget donation, QoS/vrate adjustment, debt handling), the
+Linux-block-layer and memory-management substrates it needs — as
+discrete-event simulations — and the baseline controllers and workloads of
+the paper's evaluation.
+
+Quickstart::
+
+    from repro.testbed import Testbed
+
+    tb = Testbed(device="ssd_new", controller="iocost")
+    high = tb.add_cgroup("workload.slice/high", weight=200)
+    low = tb.add_cgroup("workload.slice/low", weight=100)
+    tb.saturate(high)
+    tb.saturate(low)
+    tb.run(1.0)
+    print(tb.iops(high), tb.iops(low))   # ~2:1
+
+See ``examples/`` for runnable scenarios and ``benchmarks/`` for the
+regeneration harness of every table and figure in the paper.
+"""
+
+from repro.core import (
+    IOCost,
+    LinearCostModel,
+    ModelParams,
+    QoSParams,
+    SwapChargeMode,
+    profile_device,
+    tune_qos,
+)
+from repro.testbed import Testbed, make_controller
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "IOCost",
+    "LinearCostModel",
+    "ModelParams",
+    "QoSParams",
+    "SwapChargeMode",
+    "Testbed",
+    "make_controller",
+    "profile_device",
+    "tune_qos",
+]

@@ -1,0 +1,24 @@
+"""Statistics and reporting helpers shared by the library and benchmarks."""
+
+from repro.analysis.stats import (
+    LatencyWindow,
+    RateMeter,
+    Summary,
+    TimeSeries,
+    percentile,
+)
+from repro.analysis.report import Table, format_ratio, format_si
+from repro.analysis.figures import render_series, sparkline
+
+__all__ = [
+    "LatencyWindow",
+    "RateMeter",
+    "Summary",
+    "Table",
+    "TimeSeries",
+    "format_ratio",
+    "format_si",
+    "percentile",
+    "render_series",
+    "sparkline",
+]

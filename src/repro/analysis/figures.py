@@ -1,0 +1,104 @@
+"""ASCII rendering of time series — terminal "figures" for the examples.
+
+The benchmark harness prints tables; the examples additionally render the
+paper's line plots (vrate traces, RPS curves) as compact ASCII charts so a
+terminal user can see the dynamics without a plotting stack.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.analysis.stats import TimeSeries
+
+_BLOCKS = " ▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float], width: int = 60) -> str:
+    """One-line block-character sparkline, resampled to ``width`` points."""
+    data = list(values)
+    if not data:
+        return ""
+    if len(data) > width:
+        # Average-pool into `width` buckets.
+        bucket = len(data) / width
+        data = [
+            sum(data[int(i * bucket): max(int(i * bucket) + 1, int((i + 1) * bucket))])
+            / max(1, len(data[int(i * bucket): max(int(i * bucket) + 1, int((i + 1) * bucket))]))
+            for i in range(width)
+        ]
+    low, high = min(data), max(data)
+    span = high - low
+    if span <= 0:
+        return _BLOCKS[4] * len(data)
+    chars = []
+    for value in data:
+        index = int((value - low) / span * (len(_BLOCKS) - 1))
+        chars.append(_BLOCKS[index])
+    return "".join(chars)
+
+
+def render_series(
+    series: TimeSeries,
+    title: str = "",
+    width: int = 64,
+    height: int = 10,
+    markers: Optional[Sequence[Tuple[float, str]]] = None,
+) -> str:
+    """Multi-line ASCII chart of a time series.
+
+    ``markers`` are (time, label) pairs rendered as vertical annotations
+    under the x-axis (e.g. the Figure 13 model-update instants).
+    """
+    if len(series) == 0:
+        return f"{title} (no data)"
+    times, values = list(series.times), list(series.values)
+    t_low, t_high = times[0], times[-1]
+    v_low, v_high = min(values), max(values)
+    if v_high - v_low <= 0:
+        v_high = v_low + 1.0
+    t_span = max(t_high - t_low, 1e-12)
+
+    # Resample onto the grid: last value per column.
+    columns: List[Optional[float]] = [None] * width
+    for t, v in zip(times, values):
+        col = min(width - 1, int((t - t_low) / t_span * width))
+        columns[col] = v
+    # Forward-fill gaps.
+    last = values[0]
+    for index in range(width):
+        if columns[index] is None:
+            columns[index] = last
+        else:
+            last = columns[index]
+
+    grid = [[" "] * width for _ in range(height)]
+    for col, value in enumerate(columns):
+        row = int((value - v_low) / (v_high - v_low) * (height - 1))
+        grid[height - 1 - row][col] = "•"
+
+    lines = []
+    if title:
+        lines.append(title)
+    for row_index, row in enumerate(grid):
+        label = ""
+        if row_index == 0:
+            label = f"{v_high:8.3g} "
+        elif row_index == height - 1:
+            label = f"{v_low:8.3g} "
+        else:
+            label = " " * 9
+        lines.append(label + "|" + "".join(row))
+    axis = " " * 9 + "+" + "-" * width
+    lines.append(axis)
+    lines.append(" " * 10 + f"{t_low:<10.3g}{' ' * max(0, width - 20)}{t_high:>10.3g}")
+
+    if markers:
+        marker_line = [" "] * (width + 10)
+        for time, label in markers:
+            col = 10 + min(width - 1, int((time - t_low) / t_span * width))
+            marker_line[col] = "^"
+            lines.append("".join(marker_line))
+            lines.append(" " * max(0, col - len(label) // 2) + label)
+            marker_line = [" "] * (width + 10)
+    return "\n".join(lines)

@@ -1,0 +1,58 @@
+"""Plain-text table/figure emitters for the benchmark harness.
+
+Every benchmark regenerating a paper table or figure prints its rows through
+:class:`Table` so the output reads like the paper's own presentation and can
+be diffed across runs.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Sequence
+
+
+def format_si(value: float, unit: str = "") -> str:
+    """Format with SI prefix: 1500000 -> '1.50M'."""
+    for threshold, prefix in ((1e9, "G"), (1e6, "M"), (1e3, "K")):
+        if abs(value) >= threshold:
+            return f"{value / threshold:.2f}{prefix}{unit}"
+    return f"{value:.2f}{unit}"
+
+
+def format_ratio(numerator: float, denominator: float) -> str:
+    """Format a ratio like '2.03:1', guarding the zero denominator."""
+    if denominator == 0:
+        return "inf:1"
+    return f"{numerator / denominator:.2f}:1"
+
+
+class Table:
+    """Fixed-width text table with a title, rendered via ``str()``."""
+
+    def __init__(self, title: str, columns: Sequence[str]) -> None:
+        self.title = title
+        self.columns = list(columns)
+        self.rows: List[List[str]] = []
+
+    def add_row(self, *cells: Any) -> None:
+        if len(cells) != len(self.columns):
+            raise ValueError(
+                f"row has {len(cells)} cells, table has {len(self.columns)} columns"
+            )
+        self.rows.append([str(cell) for cell in cells])
+
+    def __str__(self) -> str:
+        widths = [len(col) for col in self.columns]
+        for row in self.rows:
+            for index, cell in enumerate(row):
+                widths[index] = max(widths[index], len(cell))
+        lines = [self.title, "=" * len(self.title)]
+        header = "  ".join(col.ljust(widths[i]) for i, col in enumerate(self.columns))
+        lines.append(header)
+        lines.append("-" * len(header))
+        for row in self.rows:
+            lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+        return "\n".join(lines)
+
+    def print(self) -> None:
+        print()
+        print(str(self))

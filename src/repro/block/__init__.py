@@ -1,0 +1,23 @@
+"""Block layer substrate: bios, simulated devices, and the dispatch layer."""
+
+from repro.block.bio import Bio, BioFlags, IOOp, SECTOR_SIZE
+from repro.block.device import Device, DeviceSpec
+from repro.block.device_models import DEVICE_CATALOG, get_device_spec
+from repro.block.layer import BlockLayer
+from repro.block.trace import TraceRecord, TraceRecorder, TraceReplayer, load_trace
+
+__all__ = [
+    "Bio",
+    "BioFlags",
+    "BlockLayer",
+    "DEVICE_CATALOG",
+    "Device",
+    "DeviceSpec",
+    "IOOp",
+    "SECTOR_SIZE",
+    "TraceRecord",
+    "TraceRecorder",
+    "TraceReplayer",
+    "get_device_spec",
+    "load_trace",
+]

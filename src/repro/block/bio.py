@@ -1,0 +1,129 @@
+"""The ``bio`` — the unit of block IO (paper §2.2).
+
+Carries the request type, size, target offset, the issuing cgroup, and
+origin flags (swap-out, filesystem journal, metadata) that the IOCost debt
+mechanism keys on.  Timestamps are filled in as the bio moves through the
+layer: ``submit_time`` (entered the block layer), ``issue_time`` (dispatched
+to the device after any controller throttling), ``complete_time``.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cgroup import Cgroup
+    from repro.sim import Signal
+
+SECTOR_SIZE = 512
+
+_bio_ids = itertools.count()
+
+
+class IOOp(enum.Enum):
+    """Request direction."""
+
+    READ = "read"
+    WRITE = "write"
+
+
+class BioFlags(enum.Flag):
+    """Origin flags consumed by controllers.
+
+    SWAP marks reclaim-generated swap-out writes / swap-in reads; JOURNAL
+    marks shared filesystem journaling IO.  Both are the priority-inversion
+    sources handled by the debt mechanism (§3.5).  META marks filesystem
+    metadata (used by the container-cleanup fleet model).
+    """
+
+    NONE = 0
+    SWAP = enum.auto()
+    JOURNAL = enum.auto()
+    META = enum.auto()
+
+
+class Bio:
+    """One block IO request."""
+
+    __slots__ = (
+        "id",
+        "op",
+        "nbytes",
+        "sector",
+        "cgroup",
+        "flags",
+        "submit_time",
+        "issue_time",
+        "complete_time",
+        "completion",
+        "sequential",
+        "device_sequential",
+        "abs_cost",
+    )
+
+    def __init__(
+        self,
+        op: IOOp,
+        nbytes: int,
+        sector: int,
+        cgroup: "Cgroup",
+        flags: BioFlags = BioFlags.NONE,
+    ) -> None:
+        if nbytes <= 0:
+            raise ValueError("bio size must be positive")
+        if sector < 0:
+            raise ValueError("bio sector must be non-negative")
+        self.id = next(_bio_ids)
+        self.op = op
+        self.nbytes = nbytes
+        self.sector = sector
+        self.cgroup = cgroup
+        self.flags = flags
+        self.submit_time: Optional[float] = None
+        self.issue_time: Optional[float] = None
+        self.complete_time: Optional[float] = None
+        # Fired (with this bio) when the device completes the request.
+        self.completion: Optional["Signal"] = None
+        # Sequential relative to the issuing cgroup's previous IO on the
+        # device (the cost-model feature, §3.2); set by the block layer.
+        self.sequential: bool = False
+        # Sequential relative to the device's last serviced request (the
+        # physical feature, relevant for the spinning-disk seek model).
+        self.device_sequential: bool = False
+        # Absolute occupancy cost assigned by the controller's cost model.
+        self.abs_cost: float = 0.0
+
+    @property
+    def is_write(self) -> bool:
+        return self.op is IOOp.WRITE
+
+    @property
+    def end_sector(self) -> int:
+        return self.sector + (self.nbytes + SECTOR_SIZE - 1) // SECTOR_SIZE
+
+    @property
+    def latency(self) -> float:
+        """End-to-end latency (submit -> complete); raises if not complete."""
+        if self.submit_time is None or self.complete_time is None:
+            raise ValueError("bio has not completed")
+        return self.complete_time - self.submit_time
+
+    @property
+    def device_latency(self) -> float:
+        """Device-side latency (issue -> complete); raises if not complete."""
+        if self.issue_time is None or self.complete_time is None:
+            raise ValueError("bio has not completed")
+        return self.complete_time - self.issue_time
+
+    @property
+    def wait_time(self) -> float:
+        """Time spent throttled/queued above the device."""
+        if self.submit_time is None or self.issue_time is None:
+            raise ValueError("bio has not been issued")
+        return self.issue_time - self.submit_time
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        group = self.cgroup.path or "/"
+        return f"Bio(#{self.id} {self.op.value} {self.nbytes}B @{self.sector} {group})"

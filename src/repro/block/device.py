@@ -1,0 +1,277 @@
+"""Simulated block storage device.
+
+The device is the hardware substitute for the paper's SSDs, spinning disks,
+and cloud volumes.  It reproduces the *observable* behaviour IO control
+reacts to:
+
+* bounded internal parallelism (``parallelism`` service channels) — offered
+  load beyond it queues inside the device, which is where completion-latency
+  inflation under saturation comes from;
+* per-request service times by operation class (read/write ×
+  physically-sequential/random) plus a size-proportional transfer term, so
+  4 KiB random IOPS and sequential bandwidth are independently calibratable;
+* lognormal service-time noise with an optional stall tail — the
+  "unpredictable SSD behaviours" of §5;
+* a write-buffer/garbage-collection model: sustained writes beyond the
+  drain rate accumulate *GC debt*; once debt exceeds the buffer, writes (and,
+  mildly, reads) slow down until the debt drains — the burst-then-degrade
+  behaviour the paper's QoS throttling exists to contain;
+* provisioned-rate caps and a network round-trip for remote volumes
+  (EBS / GCP-PD).
+
+Service begins in FIFO order per the internal queue; scheduling policy
+(reordering, fairness) is the job of the *controller* above the device.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass, field, replace
+from typing import Callable, Deque, List, Optional
+
+import numpy as np
+
+from repro.block.bio import Bio
+from repro.sim import Simulator
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Calibration parameters for one device model.
+
+    ``srv_*`` are 4 KiB service times at queue depth 1 (seconds); transfer
+    beyond 4 KiB is charged at the per-channel share of ``read_bw`` /
+    ``write_bw`` (bytes per second, device aggregate).  Peak 4 KiB random
+    read IOPS is therefore ``parallelism / srv_rand_read``.
+    """
+
+    name: str
+    parallelism: int
+    srv_rand_read: float
+    srv_seq_read: float
+    srv_rand_write: float
+    srv_seq_write: float
+    read_bw: float
+    write_bw: float
+    sigma: float = 0.2
+    tail_prob: float = 0.0
+    tail_scale: float = 1.0
+    # Write-buffer / garbage-collection model (0 buffer disables it).
+    gc_buffer_bytes: int = 0
+    gc_drain_bps: float = 0.0
+    gc_write_slowdown: float = 4.0
+    gc_read_slowdown: float = 1.5
+    # Remote-volume model.
+    network_rtt: float = 0.0
+    iops_limit: float = 0.0  # provisioned IOPS cap, 0 = uncapped
+    #: Spinning disk: the internal queue is serviced shortest-seek-first
+    #: (NCQ / firmware elevator) instead of read-priority FIFO.
+    rotational: bool = False
+    # Block-layer request slots available for this device (rq depletion
+    # signal for IOCost saturation detection).
+    nr_slots: int = 256
+
+    def __post_init__(self) -> None:
+        if self.parallelism < 1:
+            raise ValueError("parallelism must be >= 1")
+        for attr in ("srv_rand_read", "srv_seq_read", "srv_rand_write", "srv_seq_write"):
+            if getattr(self, attr) <= 0:
+                raise ValueError(f"{attr} must be positive")
+        if self.read_bw <= 0 or self.write_bw <= 0:
+            raise ValueError("bandwidths must be positive")
+        if self.nr_slots < 1:
+            raise ValueError("nr_slots must be >= 1")
+
+    # -- derived peak rates (used by profiling tests and benchmarks) ------
+
+    @property
+    def peak_rand_read_iops(self) -> float:
+        return self.parallelism / self.srv_rand_read
+
+    @property
+    def peak_seq_read_iops(self) -> float:
+        return self.parallelism / self.srv_seq_read
+
+    @property
+    def peak_rand_write_iops(self) -> float:
+        return self.parallelism / self.srv_rand_write
+
+    @property
+    def peak_seq_write_iops(self) -> float:
+        return self.parallelism / self.srv_seq_write
+
+    def scaled(self, factor: float) -> "DeviceSpec":
+        """A spec uniformly ``factor``× faster (used to down-scale heavy
+        benchmarks while preserving relative behaviour)."""
+        return replace(
+            self,
+            name=f"{self.name}-x{factor:g}",
+            srv_rand_read=self.srv_rand_read / factor,
+            srv_seq_read=self.srv_seq_read / factor,
+            srv_rand_write=self.srv_rand_write / factor,
+            srv_seq_write=self.srv_seq_write / factor,
+            read_bw=self.read_bw * factor,
+            write_bw=self.write_bw * factor,
+            gc_drain_bps=self.gc_drain_bps * factor,
+        )
+
+
+class Device:
+    """Discrete-event model of one block device."""
+
+    def __init__(self, sim: Simulator, spec: DeviceSpec, rng: np.random.Generator):
+        self.sim = sim
+        self.spec = spec
+        self.rng = rng
+        self.on_complete: Optional[Callable[[Bio], None]] = None
+        # Internal queues: reads are serviced ahead of queued writes (flash
+        # controllers buffer writes and prioritise reads), with a small
+        # anti-starvation ratio for writes.
+        self._read_queue: Deque[Bio] = deque()
+        self._write_queue: Deque[Bio] = deque()
+        self._reads_since_write = 0
+        self._busy_channels = 0
+        self._next_sector = 0  # physical-sequentiality tracker
+        # Lazily-drained GC debt in bytes.
+        self._gc_debt = 0.0
+        self._gc_updated = 0.0
+        # Provisioned-IOPS token clock (time the next request may start).
+        self._token_time = 0.0
+        # Statistics.
+        self.completed_ios = 0
+        self.completed_bytes = 0
+        self.gc_slow_ios = 0
+
+    # -- public interface ---------------------------------------------------
+
+    @property
+    def in_flight(self) -> int:
+        """Requests inside the device (being serviced or internally queued)."""
+        return self._busy_channels + len(self._read_queue) + len(self._write_queue)
+
+    @property
+    def queue_depth(self) -> int:
+        return len(self._read_queue) + len(self._write_queue)
+
+    #: Serve one queued write after at most this many priority reads.
+    WRITE_STARVATION_LIMIT = 8
+
+    def submit(self, bio: Bio) -> None:
+        """Accept a dispatched bio; begins service now or queues internally."""
+        if self._busy_channels < self.spec.parallelism:
+            self._begin(bio)
+        elif bio.is_write:
+            self._write_queue.append(bio)
+        else:
+            self._read_queue.append(bio)
+
+    def _pop_next(self) -> Optional[Bio]:
+        if self.spec.rotational:
+            return self._pop_shortest_seek()
+        reads, writes = self._read_queue, self._write_queue
+        take_write = writes and (
+            not reads or self._reads_since_write >= self.WRITE_STARVATION_LIMIT
+        )
+        if take_write:
+            self._reads_since_write = 0
+            return writes.popleft()
+        if reads:
+            self._reads_since_write += 1
+            return reads.popleft()
+        return None
+
+    #: A queued request older than this is serviced regardless of seek
+    #: distance (anti-starvation aging, as real firmware elevators do).
+    SEEK_AGE_LIMIT = 0.03
+
+    def _pop_shortest_seek(self) -> Optional[Bio]:
+        """NCQ-style selection: nearest request wins, bounded by aging."""
+        best_queue, best_index, best_distance = None, -1, None
+        oldest_queue, oldest_index, oldest_time = None, -1, None
+        for queue in (self._read_queue, self._write_queue):
+            for index, bio in enumerate(queue):
+                distance = abs(bio.sector - self._next_sector)
+                if best_distance is None or distance < best_distance:
+                    best_queue, best_index, best_distance = queue, index, distance
+                issued = bio.issue_time if bio.issue_time is not None else 0.0
+                if oldest_time is None or issued < oldest_time:
+                    oldest_queue, oldest_index, oldest_time = queue, index, issued
+        if best_queue is None:
+            return None
+        if (
+            oldest_time is not None
+            and self.sim.now - oldest_time > self.SEEK_AGE_LIMIT
+        ):
+            bio = oldest_queue[oldest_index]
+            del oldest_queue[oldest_index]
+            return bio
+        bio = best_queue[best_index]
+        del best_queue[best_index]
+        return bio
+
+    def gc_pressure(self, now: float) -> float:
+        """GC debt as a fraction of the buffer (>= 1 means degraded)."""
+        if self.spec.gc_buffer_bytes <= 0:
+            return 0.0
+        self._drain_gc(now)
+        return self._gc_debt / self.spec.gc_buffer_bytes
+
+    # -- internals ------------------------------------------------------------
+
+    def _drain_gc(self, now: float) -> None:
+        if self.spec.gc_drain_bps > 0:
+            elapsed = now - self._gc_updated
+            if elapsed > 0:
+                self._gc_debt = max(0.0, self._gc_debt - elapsed * self.spec.gc_drain_bps)
+        self._gc_updated = now
+
+    def _service_time(self, bio: Bio) -> float:
+        spec = self.spec
+        if bio.is_write:
+            base = spec.srv_seq_write if bio.device_sequential else spec.srv_rand_write
+            channel_bw = spec.write_bw / spec.parallelism
+        else:
+            base = spec.srv_seq_read if bio.device_sequential else spec.srv_rand_read
+            channel_bw = spec.read_bw / spec.parallelism
+        service = base + max(0, bio.nbytes - 4096) / channel_bw
+
+        # Garbage-collection degradation.
+        if spec.gc_buffer_bytes > 0:
+            self._drain_gc(self.sim.now)
+            if bio.is_write:
+                self._gc_debt += bio.nbytes
+            if self._gc_debt > spec.gc_buffer_bytes:
+                service *= spec.gc_write_slowdown if bio.is_write else spec.gc_read_slowdown
+                self.gc_slow_ios += 1
+
+        # Service-time noise with optional stall tail.
+        if spec.sigma > 0:
+            service *= math.exp(self.rng.normal(0.0, spec.sigma))
+        if spec.tail_prob > 0 and self.rng.random() < spec.tail_prob:
+            service *= spec.tail_scale
+        return service + spec.network_rtt
+
+    def _begin(self, bio: Bio) -> None:
+        # Physical sequentiality is a property of *service* order (NCQ may
+        # reorder queued requests), so it is decided here, not at submit.
+        bio.device_sequential = bio.sector == self._next_sector
+        self._next_sector = bio.end_sector
+        self._busy_channels += 1
+        delay = 0.0
+        if self.spec.iops_limit > 0:
+            interval = 1.0 / self.spec.iops_limit
+            start = max(self.sim.now, self._token_time)
+            self._token_time = start + interval
+            delay = start - self.sim.now
+        self.sim.schedule(delay + self._service_time(bio), self._complete, bio)
+
+    def _complete(self, bio: Bio) -> None:
+        self._busy_channels -= 1
+        self.completed_ios += 1
+        self.completed_bytes += bio.nbytes
+        nxt = self._pop_next()
+        if nxt is not None:
+            self._begin(nxt)
+        if self.on_complete is not None:
+            self.on_complete(bio)

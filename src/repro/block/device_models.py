@@ -1,0 +1,266 @@
+"""Catalogue of simulated device models.
+
+Three families, standing in for the paper's hardware:
+
+* **Lab devices** (`ssd_old`, `ssd_new`, `ssd_enterprise`) — the three SSDs
+  used in §4's experiments: "an older generation commercial SSD, a newer
+  generation commercial SSD, a high-end enterprise-grade SSD".  The
+  enterprise device is calibrated to the paper's 750K max read IOPS
+  (Fig 9); the older device has low latency but modest IOPS ("due to its
+  relatively lower latency, [it] has higher demands in terms of IO
+  control", §4.2).
+* **Fleet devices** (`fleet_a` .. `fleet_h`) — the eight heterogeneous SSD
+  types of Figure 3.  The paper only gives qualitative anchors ("SSD H
+  achieves high IOPS at a low latency, SSD G offers low IOPS and a
+  relatively low latency, and SSD A provides moderate IOPS with a higher
+  latency"); the rest are spread to produce similar diversity.
+* **Remote volumes** (`ebs_gp3`, `ebs_io2`, `gcp_pd_balanced`,
+  `gcp_pd_ssd`) — the §4.7 cloud configurations, modelled as
+  provisioned-IOPS devices with a network round trip.
+
+Plus `hdd`, the §4.3 spinning disk: a single head, millisecond seeks, so
+random IO costs ~300× sequential — the regime where occupancy-based costing
+beats sector-based fairness.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.block.device import DeviceSpec
+
+MB = 1e6
+GB = 1e9
+
+
+def _ssd(
+    name: str,
+    rand_read_iops: float,
+    read_lat: float,
+    rand_write_iops: float,
+    write_lat: float,
+    read_bw: float,
+    write_bw: float,
+    **kwargs,
+) -> DeviceSpec:
+    """Build an SSD spec from headline numbers.
+
+    ``parallelism`` falls out of IOPS × latency (Little's law); sequential
+    base service times are set slightly below random (SSDs serve sequential
+    reads marginally faster thanks to readahead and striping).
+    """
+    parallelism = max(1, round(rand_read_iops * read_lat))
+    srv_rand_read = parallelism / rand_read_iops
+    write_parallel_service = parallelism / rand_write_iops
+    return DeviceSpec(
+        name=name,
+        parallelism=parallelism,
+        srv_rand_read=srv_rand_read,
+        srv_seq_read=srv_rand_read * 0.85,
+        srv_rand_write=write_parallel_service,
+        srv_seq_write=write_parallel_service * 0.9,
+        read_bw=read_bw,
+        write_bw=write_bw,
+        **kwargs,
+    )
+
+
+DEVICE_CATALOG: Dict[str, DeviceSpec] = {}
+
+
+def _register(spec: DeviceSpec) -> DeviceSpec:
+    DEVICE_CATALOG[spec.name] = spec
+    return spec
+
+
+# --- lab devices (§4 experiments) -----------------------------------------
+
+SSD_OLD = _register(
+    _ssd(
+        "ssd_old",
+        rand_read_iops=90_000,
+        read_lat=90e-6,
+        rand_write_iops=60_000,
+        write_lat=120e-6,
+        read_bw=500 * MB,
+        write_bw=400 * MB,
+        sigma=0.25,
+        tail_prob=0.002,
+        tail_scale=20.0,
+        # Old-generation flash: a small write buffer and a sustained write
+        # rate far below burst; under sustained write floods reads degrade
+        # heavily (the §5 "unpredictable SSD behaviours").
+        gc_buffer_bytes=int(128 * MB),
+        gc_drain_bps=120 * MB,
+        gc_write_slowdown=6.0,
+        gc_read_slowdown=3.0,
+        nr_slots=128,
+    )
+)
+
+SSD_NEW = _register(
+    _ssd(
+        "ssd_new",
+        rand_read_iops=300_000,
+        read_lat=85e-6,
+        rand_write_iops=250_000,
+        write_lat=35e-6,
+        read_bw=2.5 * GB,
+        write_bw=1.8 * GB,
+        sigma=0.25,
+        tail_prob=0.003,
+        tail_scale=25.0,
+        gc_buffer_bytes=int(512 * MB),
+        gc_drain_bps=900 * MB,
+        nr_slots=256,
+    )
+)
+
+SSD_ENTERPRISE = _register(
+    _ssd(
+        "ssd_enterprise",
+        rand_read_iops=750_000,
+        read_lat=85e-6,
+        rand_write_iops=400_000,
+        write_lat=25e-6,
+        read_bw=6 * GB,
+        write_bw=4 * GB,
+        sigma=0.15,
+        tail_prob=0.0005,
+        tail_scale=10.0,
+        gc_buffer_bytes=int(2 * GB),
+        gc_drain_bps=2 * GB,
+        nr_slots=1024,
+    )
+)
+
+# --- fleet devices (Figure 3) ----------------------------------------------
+# Anchors from the paper: H = high IOPS, low latency; G = low IOPS,
+# relatively low latency; A = moderate IOPS, higher latency.
+
+_FLEET_HEADLINES = {
+    # name: (rand_read_iops, read_lat, rand_write_iops, write_lat, r_bw, w_bw)
+    "fleet_a": (120_000, 180e-6, 70_000, 250e-6, 1.2 * GB, 0.9 * GB),
+    "fleet_b": (250_000, 100e-6, 150_000, 90e-6, 2.0 * GB, 1.4 * GB),
+    "fleet_c": (90_000, 150e-6, 55_000, 180e-6, 0.9 * GB, 0.7 * GB),
+    "fleet_d": (400_000, 90e-6, 220_000, 60e-6, 3.0 * GB, 2.2 * GB),
+    "fleet_e": (60_000, 120e-6, 35_000, 200e-6, 0.6 * GB, 0.45 * GB),
+    "fleet_f": (200_000, 110e-6, 120_000, 100e-6, 1.8 * GB, 1.2 * GB),
+    "fleet_g": (50_000, 80e-6, 30_000, 110e-6, 0.5 * GB, 0.4 * GB),
+    "fleet_h": (600_000, 60e-6, 350_000, 30e-6, 5.0 * GB, 3.5 * GB),
+}
+
+for _name, (_rr, _rl, _wr, _wl, _rbw, _wbw) in _FLEET_HEADLINES.items():
+    _register(
+        _ssd(
+            _name,
+            rand_read_iops=_rr,
+            read_lat=_rl,
+            rand_write_iops=_wr,
+            write_lat=_wl,
+            read_bw=_rbw,
+            write_bw=_wbw,
+            sigma=0.25,
+            tail_prob=0.002,
+            tail_scale=15.0,
+            gc_buffer_bytes=int(256 * MB),
+            gc_drain_bps=_wbw * 0.35,
+        )
+    )
+
+# --- spinning disk (§4.3) ----------------------------------------------------
+
+HDD = _register(
+    DeviceSpec(
+        name="hdd",
+        parallelism=1,
+        srv_rand_read=7e-3,  # seek + half rotation
+        srv_seq_read=23e-6,  # 4 KiB at streaming rate
+        srv_rand_write=7.5e-3,
+        srv_seq_write=25e-6,
+        read_bw=180 * MB,
+        write_bw=160 * MB,
+        sigma=0.2,
+        rotational=True,
+        nr_slots=64,
+    )
+)
+
+# --- remote volumes (§4.7) ---------------------------------------------------
+
+EBS_GP3 = _register(
+    DeviceSpec(
+        name="ebs_gp3",
+        parallelism=16,
+        srv_rand_read=200e-6,
+        srv_seq_read=200e-6,
+        srv_rand_write=250e-6,
+        srv_seq_write=250e-6,
+        read_bw=125 * MB,
+        write_bw=125 * MB,
+        sigma=0.3,
+        network_rtt=0.5e-3,
+        iops_limit=3000,
+        nr_slots=256,
+    )
+)
+
+EBS_IO2 = _register(
+    DeviceSpec(
+        name="ebs_io2",
+        parallelism=64,
+        srv_rand_read=150e-6,
+        srv_seq_read=150e-6,
+        srv_rand_write=180e-6,
+        srv_seq_write=180e-6,
+        read_bw=1 * GB,
+        write_bw=1 * GB,
+        sigma=0.25,
+        network_rtt=0.3e-3,
+        iops_limit=64000,
+        nr_slots=1024,
+    )
+)
+
+GCP_PD_BALANCED = _register(
+    DeviceSpec(
+        name="gcp_pd_balanced",
+        parallelism=32,
+        srv_rand_read=300e-6,
+        srv_seq_read=300e-6,
+        srv_rand_write=350e-6,
+        srv_seq_write=350e-6,
+        read_bw=240 * MB,
+        write_bw=240 * MB,
+        sigma=0.3,
+        network_rtt=0.8e-3,
+        iops_limit=6000,
+        nr_slots=256,
+    )
+)
+
+GCP_PD_SSD = _register(
+    DeviceSpec(
+        name="gcp_pd_ssd",
+        parallelism=48,
+        srv_rand_read=200e-6,
+        srv_seq_read=200e-6,
+        srv_rand_write=220e-6,
+        srv_seq_write=220e-6,
+        read_bw=480 * MB,
+        write_bw=480 * MB,
+        sigma=0.25,
+        network_rtt=0.4e-3,
+        iops_limit=30000,
+        nr_slots=512,
+    )
+)
+
+
+def get_device_spec(name: str) -> DeviceSpec:
+    """Look a device model up by name (raises ``KeyError`` with the roster)."""
+    try:
+        return DEVICE_CATALOG[name]
+    except KeyError:
+        roster = ", ".join(sorted(DEVICE_CATALOG))
+        raise KeyError(f"unknown device {name!r}; available: {roster}") from None

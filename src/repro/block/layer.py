@@ -1,0 +1,159 @@
+"""The block layer: cgroup-attributed bios → controller → device.
+
+Wires a :class:`~repro.block.device.Device` to an
+:class:`~repro.controllers.base.IOController` and provides the services the
+kernel block layer provides around them:
+
+* bio lifecycle timestamps and completion signalling;
+* request-slot accounting (``nr_slots``) — the depletion signal IOCost's
+  saturation detection consumes;
+* cgroup-relative sequentiality detection (the cost-model feature of §3.2);
+* per-device and per-cgroup completion-latency windows (QoS signals);
+* the serialized issue-path CPU-cost model for Figure 9 (see
+  :mod:`repro.controllers.base`).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Optional
+
+from repro.analysis.stats import LatencyWindow
+from repro.block.bio import Bio
+from repro.block.device import Device
+from repro.cgroup import Cgroup
+from repro.sim import Signal, Simulator
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.controllers.base import IOController
+
+
+class BlockLayerError(RuntimeError):
+    """Raised on protocol violations (e.g. dispatch with no free slots)."""
+
+
+class BlockLayer:
+    """One device's block layer instance."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        device: Device,
+        controller: IOController,
+        latency_window: float = 1.0,
+    ) -> None:
+        self.sim = sim
+        self.device = device
+        self.controller = controller
+        device.on_complete = self._device_completed
+        controller.attach(self)
+
+        self.inflight = 0
+        self.read_latency = LatencyWindow(latency_window)
+        self.write_latency = LatencyWindow(latency_window)
+        self.cgroup_latency: Dict[str, LatencyWindow] = {}
+        self._latency_window = latency_window
+
+        # CPU-time resource for the controller issue path (Fig 9 model).
+        self._cpu_free_at = 0.0
+
+        # Statistics.
+        self.submitted_ios = 0
+        self.completed_ios = 0
+        self.completed_bytes = 0
+        self.depleted_events = 0
+        self.completed_by_cgroup: Dict[str, int] = {}
+        self.bytes_by_cgroup: Dict[str, int] = {}
+
+    # -- submission ---------------------------------------------------------
+
+    def submit(self, bio: Bio) -> Signal:
+        """Enter a bio into the block layer; returns its completion signal."""
+        bio.submit_time = self.sim.now
+        bio.completion = self.sim.signal()
+        self._detect_sequential(bio)
+        bio.cgroup.stats.account(bio.is_write, bio.nbytes)
+        self.submitted_ios += 1
+        if not self.can_dispatch():
+            self.depleted_events += 1
+        self.controller.enqueue(bio)
+        self.controller.pump()
+        return bio.completion
+
+    def _detect_sequential(self, bio: Bio) -> None:
+        device_name = self.device.spec.name
+        last_end = bio.cgroup.last_end_sector.get(device_name)
+        bio.sequential = last_end is not None and bio.sector == last_end
+        bio.cgroup.last_end_sector[device_name] = bio.end_sector
+
+    # -- dispatch (controller-facing) ----------------------------------------
+
+    def can_dispatch(self) -> bool:
+        """True while request slots remain for this device."""
+        return self.inflight < self.device.spec.nr_slots
+
+    @property
+    def slot_utilization(self) -> float:
+        """Fraction of request slots in use (saturation signal)."""
+        return self.inflight / self.device.spec.nr_slots
+
+    def dispatch(self, bio: Bio) -> None:
+        """Send a bio to the device, charging the controller's CPU cost."""
+        if not self.can_dispatch():
+            raise BlockLayerError("dispatch with no free request slots")
+        self.inflight += 1
+        overhead = self.controller.issue_overhead
+        if overhead > 0:
+            start = max(self.sim.now, self._cpu_free_at)
+            self._cpu_free_at = start + overhead
+            delay = self._cpu_free_at - self.sim.now
+            self.sim.schedule(delay, self._issue, bio)
+        else:
+            self._issue(bio)
+
+    def _issue(self, bio: Bio) -> None:
+        bio.issue_time = self.sim.now
+        self.device.submit(bio)
+
+    # -- completion ------------------------------------------------------------
+
+    def _device_completed(self, bio: Bio) -> None:
+        bio.complete_time = self.sim.now
+        self.inflight -= 1
+        self.completed_ios += 1
+        self.completed_bytes += bio.nbytes
+        path = bio.cgroup.path
+        self.completed_by_cgroup[path] = self.completed_by_cgroup.get(path, 0) + 1
+        self.bytes_by_cgroup[path] = self.bytes_by_cgroup.get(path, 0) + bio.nbytes
+
+        latency = bio.device_latency
+        if bio.is_write:
+            self.write_latency.record(self.sim.now, latency)
+        else:
+            self.read_latency.record(self.sim.now, latency)
+        self.cgroup_window(path).record(self.sim.now, latency)
+
+        self.controller.on_complete(bio)
+        self.controller.pump()
+        assert bio.completion is not None
+        bio.completion.fire(bio)
+
+    def cgroup_window(self, path: str) -> LatencyWindow:
+        """Per-cgroup completion-latency window (created on first use)."""
+        window = self.cgroup_latency.get(path)
+        if window is None:
+            window = LatencyWindow(self._latency_window)
+            self.cgroup_latency[path] = window
+        return window
+
+    # -- convenience -------------------------------------------------------------
+
+    def iops_of(self, cgroup: Cgroup, since_counts: Optional[Dict[str, int]] = None) -> int:
+        """Completed IO count for a cgroup, optionally minus a snapshot."""
+        done = self.completed_by_cgroup.get(cgroup.path, 0)
+        if since_counts is not None:
+            done -= since_counts.get(cgroup.path, 0)
+        return done
+
+    def snapshot_counts(self) -> Dict[str, int]:
+        """Copy of per-cgroup completion counts (for rate-over-interval math)."""
+        return dict(self.completed_by_cgroup)

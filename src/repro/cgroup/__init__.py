@@ -1,0 +1,27 @@
+"""Cgroup hierarchy substrate.
+
+A minimal cgroup-v2-like tree: named nodes with configurable ``weight``
+(default 100, range 1..10000 as in the kernel's ``io.weight``), per-node IO
+statistics, and a factory for the production hierarchy of the paper's
+Figure 1 (``system`` / ``hostcritical`` / ``workload`` slices).
+"""
+
+from repro.cgroup.tree import (
+    Cgroup,
+    CgroupError,
+    CgroupTree,
+    IOStats,
+    MAX_WEIGHT,
+    MIN_WEIGHT,
+    make_meta_hierarchy,
+)
+
+__all__ = [
+    "Cgroup",
+    "CgroupError",
+    "CgroupTree",
+    "IOStats",
+    "MAX_WEIGHT",
+    "MIN_WEIGHT",
+    "make_meta_hierarchy",
+]

@@ -1,0 +1,201 @@
+"""Cgroup tree with weights and IO statistics.
+
+Mirrors the pieces of cgroup v2 that IO controllers consume: a rooted tree
+of named groups, a per-group ``weight`` in [1, 10000] (default 100)
+interpreted proportionally among siblings, and per-group cumulative IO
+accounting.  Controllers attach their own per-group state via
+:attr:`Cgroup.controller_data`, the moral equivalent of the kernel's
+per-policy ``blkg`` data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional
+
+MIN_WEIGHT = 1
+MAX_WEIGHT = 10000
+DEFAULT_WEIGHT = 100
+
+
+class CgroupError(ValueError):
+    """Raised for invalid cgroup operations (bad weight, duplicate child...)."""
+
+
+@dataclass
+class IOStats:
+    """Cumulative per-cgroup IO accounting (the ``io.stat`` analogue)."""
+
+    rbytes: int = 0
+    wbytes: int = 0
+    rios: int = 0
+    wios: int = 0
+
+    def account(self, is_write: bool, nbytes: int) -> None:
+        if is_write:
+            self.wbytes += nbytes
+            self.wios += 1
+        else:
+            self.rbytes += nbytes
+            self.rios += 1
+
+    @property
+    def total_bytes(self) -> int:
+        return self.rbytes + self.wbytes
+
+    @property
+    def total_ios(self) -> int:
+        return self.rios + self.wios
+
+
+class Cgroup:
+    """One node in the hierarchy.
+
+    Use :meth:`CgroupTree.create` rather than instantiating directly so the
+    tree index stays consistent.
+    """
+
+    def __init__(self, name: str, parent: Optional["Cgroup"], weight: int = DEFAULT_WEIGHT):
+        if parent is not None and not name:
+            raise CgroupError("non-root cgroup needs a name")
+        if "/" in name:
+            raise CgroupError("cgroup name must not contain '/'")
+        self.name = name
+        self.parent = parent
+        self.children: Dict[str, Cgroup] = {}
+        self._weight = DEFAULT_WEIGHT
+        self.weight = weight
+        self.stats = IOStats()
+        # Per-controller private state, keyed by controller name.
+        self.controller_data: Dict[str, Any] = {}
+        # Sequential-detection state: device sector expected next, per device.
+        self.last_end_sector: Dict[str, int] = {}
+
+    # -- weight -----------------------------------------------------------
+
+    @property
+    def weight(self) -> int:
+        return self._weight
+
+    @weight.setter
+    def weight(self, value: int) -> None:
+        if not (MIN_WEIGHT <= value <= MAX_WEIGHT):
+            raise CgroupError(
+                f"weight {value} out of range [{MIN_WEIGHT}, {MAX_WEIGHT}]"
+            )
+        self._weight = int(value)
+
+    # -- topology ---------------------------------------------------------
+
+    @property
+    def path(self) -> str:
+        """Slash-joined path from the root, '' for the root itself."""
+        parts: List[str] = []
+        node: Optional[Cgroup] = self
+        while node is not None and node.parent is not None:
+            parts.append(node.name)
+            node = node.parent
+        return "/".join(reversed(parts))
+
+    @property
+    def is_root(self) -> bool:
+        return self.parent is None
+
+    def ancestors(self, include_self: bool = False) -> Iterator["Cgroup"]:
+        """Walk towards the root (root last)."""
+        node = self if include_self else self.parent
+        while node is not None:
+            yield node
+            node = node.parent
+
+    def walk(self) -> Iterator["Cgroup"]:
+        """Depth-first pre-order traversal of the subtree rooted here."""
+        yield self
+        for child in self.children.values():
+            yield from child.walk()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Cgroup({self.path or '/'}, weight={self.weight})"
+
+
+class CgroupTree:
+    """The hierarchy: a root plus a path index."""
+
+    def __init__(self) -> None:
+        self.root = Cgroup("", None)
+        self._index: Dict[str, Cgroup] = {"": self.root}
+
+    def create(self, path: str, weight: int = DEFAULT_WEIGHT) -> Cgroup:
+        """Create a cgroup at ``path``, creating intermediate groups as needed.
+
+        Intermediate groups get the default weight; the leaf gets ``weight``.
+        Creating an existing path is an error (use :meth:`lookup`).
+        """
+        if not path:
+            raise CgroupError("cannot re-create the root")
+        if path in self._index:
+            raise CgroupError(f"cgroup {path!r} already exists")
+        parent = self.root
+        parts = path.split("/")
+        for depth, part in enumerate(parts):
+            prefix = "/".join(parts[: depth + 1])
+            node = self._index.get(prefix)
+            if node is None:
+                is_leaf = depth == len(parts) - 1
+                node = Cgroup(part, parent, weight if is_leaf else DEFAULT_WEIGHT)
+                parent.children[part] = node
+                self._index[prefix] = node
+            parent = node
+        return parent
+
+    def lookup(self, path: str) -> Cgroup:
+        """Return the cgroup at ``path`` (raises :class:`CgroupError` if absent)."""
+        try:
+            return self._index[path]
+        except KeyError:
+            raise CgroupError(f"no cgroup at {path!r}") from None
+
+    def get_or_create(self, path: str, weight: int = DEFAULT_WEIGHT) -> Cgroup:
+        if path in self._index:
+            return self._index[path]
+        return self.create(path, weight)
+
+    def remove(self, path: str) -> None:
+        """Remove a leaf cgroup (children must be removed first)."""
+        node = self.lookup(path)
+        if node.is_root:
+            raise CgroupError("cannot remove the root")
+        if node.children:
+            raise CgroupError(f"cgroup {path!r} still has children")
+        assert node.parent is not None
+        del node.parent.children[node.name]
+        del self._index[path]
+
+    def __contains__(self, path: str) -> bool:
+        return path in self._index
+
+    def __iter__(self) -> Iterator[Cgroup]:
+        return self.root.walk()
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+
+def make_meta_hierarchy(
+    tree: Optional[CgroupTree] = None,
+    workloads: Optional[Dict[str, int]] = None,
+) -> CgroupTree:
+    """Build the production hierarchy from the paper's Figure 1.
+
+    ``system`` (auxiliary services like chef), ``hostcritical`` (sshd, the
+    container agent) and ``workload`` (application containers) slices, with
+    ``workloads`` mapping child-container name -> weight under the workload
+    slice.
+    """
+    tree = tree or CgroupTree()
+    tree.get_or_create("system.slice", weight=25)
+    tree.get_or_create("hostcritical.slice", weight=100)
+    tree.get_or_create("workload.slice", weight=500)
+    for name, weight in (workloads or {}).items():
+        tree.get_or_create(f"workload.slice/{name}", weight=weight)
+    return tree

@@ -1,0 +1,58 @@
+"""IO control mechanisms: IOCost plus the Table 1 baselines.
+
+``IOCost`` itself lives in :mod:`repro.core.controller`; it is re-exported
+here lazily (module ``__getattr__``) to keep the package import graph
+acyclic — ``repro.core`` imports controller base classes from this package.
+"""
+
+from typing import Dict, List, Type
+
+from repro.controllers.base import Features, IOController
+from repro.controllers.noop import NoopController
+from repro.controllers.mq_deadline import MQDeadlineController
+from repro.controllers.kyber import KyberController
+from repro.controllers.blk_throttle import BlkThrottleController, ThrottleLimits
+from repro.controllers.bfq import BFQController
+from repro.controllers.iolatency import IOLatencyController
+from repro.controllers.stacked import StackedController
+
+__all__ = [
+    "BFQController",
+    "BlkThrottleController",
+    "CONTROLLER_CLASSES",
+    "Features",
+    "IOController",
+    "IOCost",
+    "IOLatencyController",
+    "KyberController",
+    "MQDeadlineController",
+    "NoopController",
+    "StackedController",
+    "TABLE1_CONTROLLERS",
+    "ThrottleLimits",
+]
+
+
+def _table1() -> List[Type[IOController]]:
+    from repro.core.controller import IOCost
+
+    return [
+        KyberController,
+        MQDeadlineController,
+        BlkThrottleController,
+        BFQController,
+        IOLatencyController,
+        IOCost,
+    ]
+
+
+def __getattr__(name: str):
+    if name == "IOCost":
+        from repro.core.controller import IOCost
+
+        return IOCost
+    if name == "TABLE1_CONTROLLERS":
+        return _table1()
+    if name == "CONTROLLER_CLASSES":
+        return {cls.name: cls for cls in [NoopController, *_table1()]}
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

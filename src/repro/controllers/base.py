@@ -1,0 +1,78 @@
+"""IO controller interface and Table 1 capability metadata.
+
+A controller sits between bio submission and device dispatch (the
+"controller / scheduler" box of the paper's Figure 2).  The contract is an
+elevator model:
+
+* :meth:`IOController.enqueue` — a bio arrived from a cgroup; stash or
+  dispatch it.
+* :meth:`IOController.pump` — dispatch as many queued bios as policy and
+  free request slots allow; called after enqueues and completions.
+* :meth:`IOController.on_complete` — bookkeeping for a finished bio.
+
+``issue_overhead`` models the serialized per-IO CPU cost of the mechanism's
+issue path — the quantity Figure 9 measures.  The block layer charges it on
+a single CPU-time resource before the device sees the request, so a
+controller with a heavyweight issue path (BFQ) caps achievable IOPS no
+matter how fast the device is.  Values are calibrated to reproduce the
+relative overheads of Figure 9, not absolute kernel numbers.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, ClassVar
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.block.bio import Bio
+    from repro.block.layer import BlockLayer
+
+
+@dataclass(frozen=True)
+class Features:
+    """The capability flags of the paper's Table 1.
+
+    Values are "yes", "no", or "partial" (the paper's ✓ / ✗ / ~).
+    """
+
+    low_overhead: str
+    work_conserving: str
+    memory_management_aware: str
+    proportional_fairness: str
+    cgroup_control: str
+
+    def __post_init__(self) -> None:
+        for field_name, value in self.__dict__.items():
+            if value not in ("yes", "no", "partial"):
+                raise ValueError(f"{field_name} must be yes/no/partial, got {value!r}")
+
+
+class IOController(abc.ABC):
+    """Base class for every IO control mechanism."""
+
+    name: ClassVar[str] = "abstract"
+    features: ClassVar[Features]
+    #: Serialized CPU seconds consumed per IO on the issue path (Fig 9 model).
+    issue_overhead: float = 0.0
+
+    def __init__(self) -> None:
+        self.layer: "BlockLayer" = None  # type: ignore[assignment]
+
+    def attach(self, layer: "BlockLayer") -> None:
+        """Bind to a block layer.  Called once, before any IO."""
+        self.layer = layer
+
+    @abc.abstractmethod
+    def enqueue(self, bio: "Bio") -> None:
+        """Accept a submitted bio."""
+
+    @abc.abstractmethod
+    def pump(self) -> None:
+        """Dispatch queued bios while policy and request slots allow."""
+
+    def on_complete(self, bio: "Bio") -> None:
+        """A dispatched bio completed (default: nothing to do)."""
+
+    def detach(self) -> None:
+        """Tear down timers etc.  Called when an experiment ends."""

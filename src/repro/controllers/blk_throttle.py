@@ -1,0 +1,147 @@
+"""blk-throttle: per-cgroup IOPS / bytes-per-second limits (paper §2.2).
+
+Each cgroup gets token buckets for read/write IOPS and bandwidth; bios wait
+in per-cgroup FIFOs until every applicable bucket has tokens.  Hard limits
+only: unused capacity is *not* redistributed — the classic
+non-work-conserving design whose over-provisioning cost the paper's
+Figure 11 demonstrates.  Limits are also brittle to configure per device ×
+per workload, the configuration-explosion argument of §2.3.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, Optional
+
+from repro.block.bio import Bio
+from repro.controllers.base import Features, IOController
+
+
+@dataclass(frozen=True)
+class ThrottleLimits:
+    """Per-cgroup limits; ``None`` means unlimited (kernel: "max")."""
+
+    riops: Optional[float] = None
+    wiops: Optional[float] = None
+    rbps: Optional[float] = None
+    wbps: Optional[float] = None
+
+
+class _Bucket:
+    """Token bucket refilled continuously at ``rate`` per second."""
+
+    __slots__ = ("rate", "tokens", "burst", "last")
+
+    def __init__(self, rate: float, burst_seconds: float = 0.02):
+        self.rate = rate
+        self.burst = rate * burst_seconds
+        self.tokens = self.burst
+        self.last = 0.0
+
+    def refill(self, now: float) -> None:
+        self.tokens = min(self.burst, self.tokens + (now - self.last) * self.rate)
+        self.last = now
+
+    def try_take(self, now: float, amount: float) -> bool:
+        """Take ``amount`` if the bucket is ready.
+
+        A bio larger than the burst capacity is granted against a *full*
+        bucket and drives the token count negative (carryover), so big IOs
+        flow at the configured average rate instead of deadlocking.
+        """
+        self.refill(now)
+        if self.tokens >= min(amount, self.burst):
+            self.tokens -= amount
+            return True
+        return False
+
+    def wait_time(self, now: float, amount: float) -> float:
+        self.refill(now)
+        deficit = min(amount, self.burst) - self.tokens
+        return max(0.0, deficit / self.rate)
+
+
+class _GroupThrottle:
+    __slots__ = ("limits", "queue", "riops", "wiops", "rbps", "wbps", "wake")
+
+    def __init__(self, limits: ThrottleLimits):
+        self.limits = limits
+        self.queue: Deque[Bio] = deque()
+        self.riops = _Bucket(limits.riops) if limits.riops else None
+        self.wiops = _Bucket(limits.wiops) if limits.wiops else None
+        self.rbps = _Bucket(limits.rbps) if limits.rbps else None
+        self.wbps = _Bucket(limits.wbps) if limits.wbps else None
+        self.wake = None
+
+    def buckets_for(self, bio: Bio):
+        if bio.is_write:
+            return [(b, a) for b, a in ((self.wiops, 1.0), (self.wbps, float(bio.nbytes))) if b]
+        return [(b, a) for b, a in ((self.riops, 1.0), (self.rbps, float(bio.nbytes))) if b]
+
+
+class BlkThrottleController(IOController):
+    """Upper-limit throttling via token buckets."""
+
+    name = "blk-throttle"
+    features = Features(
+        low_overhead="partial",
+        work_conserving="no",
+        memory_management_aware="no",
+        proportional_fairness="no",
+        cgroup_control="yes",
+    )
+    issue_overhead = 1.1e-6
+
+    def __init__(self, limits: Optional[Dict[str, ThrottleLimits]] = None) -> None:
+        super().__init__()
+        self._config = dict(limits or {})
+        self._groups: Dict[str, _GroupThrottle] = {}
+
+    def set_limits(self, path: str, limits: ThrottleLimits) -> None:
+        """Configure (or replace) a cgroup's limits."""
+        self._config[path] = limits
+        self._groups.pop(path, None)
+
+    def _group(self, path: str) -> _GroupThrottle:
+        group = self._groups.get(path)
+        if group is None:
+            group = _GroupThrottle(self._config.get(path, ThrottleLimits()))
+            self._groups[path] = group
+        return group
+
+    def enqueue(self, bio: Bio) -> None:
+        self._group(bio.cgroup.path).queue.append(bio)
+
+    def pump(self) -> None:
+        layer = self.layer
+        now = layer.sim.now
+        for group in self._groups.values():
+            while group.queue and layer.can_dispatch():
+                bio = group.queue[0]
+                buckets = group.buckets_for(bio)
+                waits = [bucket.wait_time(now, amount) for bucket, amount in buckets]
+                if any(wait > 0 for wait in waits):
+                    self._arm_wake(group, max(waits))
+                    break
+                for bucket, amount in buckets:
+                    bucket.try_take(now, amount)
+                group.queue.popleft()
+                layer.dispatch(bio)
+            if not layer.can_dispatch():
+                return
+
+    def _arm_wake(self, group: _GroupThrottle, delay: float) -> None:
+        if group.wake is not None:
+            group.wake.cancel()
+        group.wake = self.layer.sim.schedule(delay + 1e-9, self._wake, group)
+
+    def _wake(self, group: _GroupThrottle) -> None:
+        group.wake = None
+        self.pump()
+
+    def detach(self) -> None:
+        for group in self._groups.values():
+            if group.wake is not None:
+                group.wake.cancel()
+                group.wake = None

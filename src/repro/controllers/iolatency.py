@@ -1,0 +1,140 @@
+"""IOLatency: per-cgroup latency targets with strict prioritisation (§2.2).
+
+Meta's first-generation controller (upstreamed before IOCost).  Each cgroup
+may set a completion-latency target; when a protected cgroup's observed
+latency exceeds its target, cgroups with *looser* targets (lower priority)
+get their queue depth scaled down until the victim recovers.
+
+The paper's criticisms, all reproduced here: only strict prioritisation (no
+way to share proportionally between equal-priority groups — Figure 10), and
+work conservation that depends on fragile per-device, per-workload target
+tuning (Figure 11 shows it performing adequately; Figure 16 shows it
+failing for stacked equal-priority ensembles).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Optional
+
+from repro.block.bio import Bio
+from repro.controllers.base import Features, IOController
+
+
+class _LatGroup:
+    __slots__ = ("path", "target", "queue", "inflight", "depth")
+
+    def __init__(self, path: str, target: Optional[float], max_depth: int):
+        self.path = path
+        self.target = target  # None = unprotected (lowest priority)
+        self.queue: Deque[Bio] = deque()
+        self.inflight = 0
+        self.depth = max_depth
+
+
+class IOLatencyController(IOController):
+    """Latency-target controller with queue-depth scaling."""
+
+    name = "iolatency"
+    features = Features(
+        low_overhead="yes",
+        work_conserving="partial",
+        memory_management_aware="yes",
+        proportional_fairness="no",
+        cgroup_control="yes",
+    )
+    issue_overhead = 0.8e-6
+
+    ADJUST_INTERVAL = 0.05
+    MIN_DEPTH = 1
+
+    def __init__(self, targets: Optional[Dict[str, float]] = None) -> None:
+        super().__init__()
+        self._targets = dict(targets or {})
+        self._groups: Dict[str, _LatGroup] = {}
+        self._timer = None
+        # Target of the currently-suffering protected group (None if all
+        # targets are met).  New lower-priority groups inherit the
+        # throttled state instead of starting wide open.
+        self._victim_target: Optional[float] = None
+
+    def attach(self, layer) -> None:
+        super().attach(layer)
+        self._timer = layer.sim.schedule(self.ADJUST_INTERVAL, self._adjust)
+
+    def detach(self) -> None:
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+
+    def set_target(self, path: str, target: float) -> None:
+        self._targets[path] = target
+        group = self._groups.get(path)
+        if group is not None:
+            group.target = target
+
+    def _group(self, bio: Bio) -> _LatGroup:
+        path = bio.cgroup.path
+        group = self._groups.get(path)
+        if group is None:
+            group = _LatGroup(
+                path, self._targets.get(path), self.layer.device.spec.nr_slots
+            )
+            if self._victim_target is not None and (
+                group.target is None or group.target > self._victim_target
+            ):
+                group.depth = self.MIN_DEPTH
+            self._groups[path] = group
+        return group
+
+    def enqueue(self, bio: Bio) -> None:
+        self._group(bio).queue.append(bio)
+
+    def pump(self) -> None:
+        layer = self.layer
+        progressed = True
+        while progressed and layer.can_dispatch():
+            progressed = False
+            for group in self._groups.values():
+                if group.queue and group.inflight < group.depth:
+                    group.inflight += 1
+                    layer.dispatch(group.queue.popleft())
+                    progressed = True
+                    if not layer.can_dispatch():
+                        return
+
+    def on_complete(self, bio: Bio) -> None:
+        group = self._groups.get(bio.cgroup.path)
+        if group is not None:
+            group.inflight -= 1
+
+    # -- periodic depth scaling -------------------------------------------------
+
+    def _adjust(self) -> None:
+        layer = self.layer
+        now = layer.sim.now
+        max_depth = layer.device.spec.nr_slots
+
+        # Is any protected group missing its target?
+        victim_target = None
+        for group in self._groups.values():
+            if group.target is None:
+                continue
+            observed = layer.cgroup_window(group.path).percentile(now, 90)
+            if observed is not None and observed > group.target:
+                if victim_target is None or group.target < victim_target:
+                    victim_target = group.target
+        self._victim_target = victim_target
+
+        for group in self._groups.values():
+            if victim_target is not None and (
+                group.target is None or group.target > victim_target
+            ):
+                # Lower priority than the victim: halve its depth.
+                group.depth = max(self.MIN_DEPTH, group.depth // 2)
+            else:
+                # Grow back gradually while nobody above is suffering.
+                group.depth = min(max_depth, group.depth + max(1, group.depth // 4))
+
+        self._timer = layer.sim.schedule(self.ADJUST_INTERVAL, self._adjust)
+        self.pump()

@@ -1,0 +1,42 @@
+"""IOCost — the paper's primary contribution.
+
+The public surface:
+
+* :class:`~repro.core.cost_model.LinearCostModel` /
+  :class:`~repro.core.cost_model.ModelParams` — the §3.2 device cost model.
+* :class:`~repro.core.qos.QoSParams` — latency targets and vrate bounds.
+* :class:`~repro.core.controller.IOCost` — the controller (issue path +
+  planning path + donation + debt).
+* :func:`~repro.core.profiler.profile_device` — offline model generation.
+* :func:`~repro.core.qos_tuning.tune_qos` — §3.4 QoS parameter derivation.
+"""
+
+from repro.core.cost_model import CostModel, LinearCostModel, ModelParams
+from repro.core.vtime import VTimeClock
+from repro.core.hierarchy import GroupState, WeightTree
+from repro.core.donation import DonationResult, compute_donations
+from repro.core.qos import QoSParams, VRateController
+from repro.core.debt import DebtTracker, SwapChargeMode
+from repro.core.controller import IOCost
+from repro.core.profiler import DeviceProfile, profile_device
+from repro.core.qos_tuning import TuningResult, tune_qos
+
+__all__ = [
+    "TuningResult",
+    "tune_qos",
+    "CostModel",
+    "DebtTracker",
+    "DeviceProfile",
+    "DonationResult",
+    "GroupState",
+    "IOCost",
+    "LinearCostModel",
+    "ModelParams",
+    "QoSParams",
+    "SwapChargeMode",
+    "VRateController",
+    "VTimeClock",
+    "WeightTree",
+    "compute_donations",
+    "profile_device",
+]

@@ -1,0 +1,341 @@
+"""The IOCost controller: fast issue path + periodic planning path (§3.1).
+
+**Issue path** (per bio, microsecond scale): price the bio with the device
+cost model, divide by the issuing group's cached hweight to get the relative
+cost, and compare against the group's budget — the gap between global and
+local vtime.  Enough budget → dispatch immediately and advance local vtime;
+otherwise the bio waits until global vtime progresses far enough (a timer is
+armed for exactly that moment).  All state touched is local to the group.
+
+**Planning path** (per period, millisecond scale): deactivate idle groups,
+tally per-group usage and recompute budget donations (§3.6), and adjust
+vrate from the device-level QoS signals (§3.3).
+
+Swap/journal bios follow the §3.5 debt protocol, selectable via
+:class:`~repro.core.debt.SwapChargeMode` for the Figure 15 ablations.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional
+
+from repro.analysis.stats import LatencyWindow
+from repro.block.bio import Bio, BioFlags
+from repro.cgroup import Cgroup
+from repro.controllers.base import Features, IOController
+from repro.core.cost_model import CostModel
+from repro.core.debt import DebtConfig, DebtTracker, SwapChargeMode
+from repro.core.donation import compute_donations
+from repro.core.hierarchy import GroupState, WeightTree
+from repro.core.qos import QoSParams, VRateController
+from repro.core.vtime import VTimeClock
+
+#: Bios carrying these flags bypass budget under the debt protocol.
+URGENT_FLAGS = BioFlags.SWAP | BioFlags.JOURNAL
+
+#: A leaf using less than this fraction of its hweight becomes a donor.
+DONATION_THRESHOLD = 0.9
+#: Headroom multiplier on a donor's kept budget, so it can grow back a bit
+#: before needing to rescind.
+DONATION_HEADROOM = 1.2
+#: Minimum fraction of its hweight a donor always keeps.
+DONATION_MIN_KEEP = 0.02
+
+
+class IOCost(IOController):
+    """Work-conserving, low-overhead, proportional IO controller."""
+
+    name = "iocost"
+    features = Features(
+        low_overhead="yes",
+        work_conserving="yes",
+        memory_management_aware="yes",
+        proportional_fairness="yes",
+        cgroup_control="yes",
+    )
+    #: Modeled serialized CPU cost of the issue fast path (Fig 9): a few
+    #: arithmetic ops and a cached hweight lookup.
+    issue_overhead = 0.6e-6
+
+    def __init__(
+        self,
+        cost_model: CostModel,
+        qos: QoSParams = QoSParams(),
+        swap_mode: SwapChargeMode = SwapChargeMode.DEBT,
+        donation_enabled: bool = True,
+        debt_config: DebtConfig = DebtConfig(),
+        initial_vrate: float = 1.0,
+    ) -> None:
+        super().__init__()
+        self.model = cost_model
+        self.qos = qos
+        self.swap_mode = swap_mode
+        self.donation_enabled = donation_enabled
+        self._debt_config = debt_config
+        self._initial_vrate = initial_vrate
+
+        self.tree = WeightTree()
+        self.clock: VTimeClock = None  # type: ignore[assignment]
+        self.vrate_ctl: VRateController = None  # type: ignore[assignment]
+        self.debt: DebtTracker = None  # type: ignore[assignment]
+        #: Budget cap in vtime seconds: how much unused budget a group may
+        #: bank (prevents long-idle-then-burst overshoot).
+        self.budget_cap = qos.period
+
+        self._urgent: Deque[Bio] = deque()
+        self._plan_timer = None
+        # Period counters.
+        self._budget_blocked_events = 0
+        # Lifetime statistics.
+        self.urgent_ios = 0
+        self.debt_charged = 0.0
+        self.rescinds = 0
+        self.donation_passes = 0
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def attach(self, layer) -> None:
+        super().attach(layer)
+        sim = layer.sim
+        self.clock = VTimeClock(sim, self._initial_vrate)
+        self.vrate_ctl = VRateController(self.clock, self.qos)
+        self.debt = DebtTracker(self.clock, self._debt_config)
+        # QoS latency windows scaled to the planning period, so each
+        # adjustment acts on fresh samples (the block layer's own windows
+        # serve measurement and are much wider).
+        window = 3 * self.qos.period
+        self._read_window = LatencyWindow(window)
+        self._write_window = LatencyWindow(window)
+        self._plan_timer = sim.schedule(self.qos.period, self._plan)
+
+    def detach(self) -> None:
+        if self._plan_timer is not None:
+            self._plan_timer.cancel()
+            self._plan_timer = None
+        for state in self.tree.states():
+            if state.wake_event is not None:
+                state.wake_event.cancel()
+                state.wake_event = None
+
+    # -- configuration ------------------------------------------------------------
+
+    def set_weight(self, cgroup: Cgroup, weight: int) -> None:
+        """Update a cgroup's weight with immediate effect."""
+        cgroup.weight = weight
+        state = self.tree.lookup(cgroup.path)
+        if state is not None and not state.donating:
+            state.weight_eff = float(weight)
+        self.tree.bump()
+
+    def hweight_of(self, cgroup: Cgroup) -> float:
+        """Current hierarchical weight share of a cgroup (diagnostic)."""
+        return self.tree.hweight(self.tree.state_of(cgroup))
+
+    def userspace_delay(self, cgroup: Cgroup) -> float:
+        """§3.5 return-to-userspace debt throttle, called by the MM layer."""
+        state = self.tree.lookup(cgroup.path)
+        if state is None:
+            return 0.0
+        return self.debt.userspace_delay(state)
+
+    # -- issue path ------------------------------------------------------------
+
+    def enqueue(self, bio: Bio) -> None:
+        group = self.tree.state_of(bio.cgroup)
+        bio.abs_cost = self.model.cost(bio)
+        self._activate(group)
+        group.period_ios += 1
+
+        # Only reclaim-side *writes* (swap-out, journal) are the §3.5
+        # priority-inversion case: they complete on behalf of some other
+        # cgroup.  Swap-in reads are synchronous for the faulting cgroup
+        # itself and are throttled like any other IO.
+        urgent = bool(bio.flags & URGENT_FLAGS) and bio.is_write
+        if urgent and self.swap_mode is not SwapChargeMode.ORIGIN_THROTTLE:
+            if self.swap_mode is SwapChargeMode.DEBT:
+                # Charge the owner: local vtime runs ahead (debt), but the
+                # bio itself is never blocked on budget.
+                hweight = self.tree.hweight(group)
+                if hweight > 0:
+                    relative = bio.abs_cost / hweight
+                    group.local_vtime = (
+                        max(group.local_vtime, self.clock.now()) + relative
+                    )
+                    self.debt_charged += bio.abs_cost
+                group.abs_usage += bio.abs_cost
+            else:  # SwapChargeMode.ROOT: free IO, charged to nobody.
+                root = self.tree.root
+                if root is not None:
+                    root.abs_usage += bio.abs_cost
+            self.urgent_ios += 1
+            self._urgent.append(bio)
+            return
+
+        group.waitq.append(bio)
+
+    def pump(self) -> None:
+        layer = self.layer
+        # Urgent (swap/journal) bios first: they bypass budget entirely.
+        while self._urgent and layer.can_dispatch():
+            layer.dispatch(self._urgent.popleft())
+        if not layer.can_dispatch():
+            return
+        for state in self.tree.states():
+            if state.waitq:
+                self._try_issue(state)
+                if not layer.can_dispatch():
+                    break
+
+    def _activate(self, group: GroupState) -> None:
+        if group.active:
+            return
+        self.tree.activate(group)
+        # A newly-active group starts with zero budget and zero debt.
+        group.local_vtime = max(group.local_vtime, self.clock.now())
+
+    def _try_issue(self, group: GroupState) -> None:
+        layer = self.layer
+        while group.waitq and layer.can_dispatch():
+            bio = group.waitq[0]
+            hweight = self.tree.hweight(group)
+            if hweight <= 0:
+                break
+            relative = bio.abs_cost / hweight
+            # A donor whose donated share cannot even afford this IO from a
+            # full budget bank rescinds *before* issuing — otherwise the
+            # oversize-issue rule below would charge a catastophically
+            # inflated relative cost against the shrunken weight.
+            if group.donating and relative > self.budget_cap:
+                self.tree.rescind(group)
+                self.rescinds += 1
+                continue
+            now_v = self.clock.now()
+            # Cap banked budget.
+            floor = now_v - self.budget_cap
+            if group.local_vtime < floor:
+                group.local_vtime = floor
+            budget = now_v - group.local_vtime
+            # An IO whose relative cost exceeds the budget cap could never
+            # accumulate enough budget; it issues once the bank is full and
+            # charges the full cost forward (transiently negative budget),
+            # which preserves the group's long-run rate.
+            need = min(relative, self.budget_cap)
+            if budget + 1e-12 >= need:
+                group.local_vtime += relative
+                group.abs_usage += bio.abs_cost
+                group.waitq.popleft()
+                layer.dispatch(bio)
+            else:
+                if group.donating:
+                    # §3.6: a donor whose budget runs low rescinds locally
+                    # in the issue path and retries with restored weight.
+                    self.tree.rescind(group)
+                    self.rescinds += 1
+                    continue
+                self._budget_blocked_events += 1
+                self._arm_wake(group, need - budget)
+                break
+
+    def _arm_wake(self, group: GroupState, vtime_gap: float) -> None:
+        if group.wake_event is not None:
+            group.wake_event.cancel()
+        delay = self.clock.wall_delay_for(vtime_gap)
+        group.wake_event = self.layer.sim.schedule(delay, self._wake, group)
+
+    def _wake(self, group: GroupState) -> None:
+        group.wake_event = None
+        self.pump()
+
+    def on_complete(self, bio: Bio) -> None:
+        latency = bio.device_latency
+        if bio.is_write:
+            self._write_window.record(self.layer.sim.now, latency)
+        else:
+            self._read_window.record(self.layer.sim.now, latency)
+
+    # -- planning path ------------------------------------------------------------
+
+    def _plan(self) -> None:
+        sim = self.layer.sim
+        self._deactivate_idle()
+        if self.donation_enabled:
+            self._recompute_donations()
+        self.vrate_ctl.adjust(
+            sim.now,
+            self._read_window,
+            self._write_window,
+            self.layer.slot_utilization,
+            budget_starved=self._budget_blocked_events > 0,
+        )
+        for state in self.tree.states():
+            state.abs_usage = 0.0
+            state.period_ios = 0
+        self._budget_blocked_events = 0
+        self.pump()
+        self._plan_timer = sim.schedule(self.qos.period, self._plan)
+
+    def _deactivate_idle(self) -> None:
+        for state in list(self.tree.states()):
+            if state.active and state.period_ios == 0 and not state.waitq:
+                self.tree.deactivate(state)
+
+    def _recompute_donations(self) -> None:
+        self.tree.refresh_base_weights()
+        capacity = self.qos.period * self.clock.vrate
+        if capacity <= 0:
+            return
+        targets = {}
+        for leaf in self.tree.active_leaves():
+            if leaf.waitq:
+                continue  # backlogged groups obviously want their share
+            hweight = self.tree.hweight(leaf)
+            if hweight <= 0:
+                continue
+            used_share = leaf.abs_usage / capacity
+            if used_share < hweight * DONATION_THRESHOLD:
+                keep = min(
+                    hweight,
+                    max(used_share * DONATION_HEADROOM, hweight * DONATION_MIN_KEEP),
+                )
+                targets[leaf] = keep
+        if targets:
+            compute_donations(self.tree, targets)
+            self.donation_passes += 1
+
+    # -- introspection ------------------------------------------------------------
+
+    @property
+    def vrate(self) -> float:
+        return self.clock.vrate
+
+    def stat(self, cgroup: Cgroup) -> dict:
+        """Kernel ``io.cost.stat``-style snapshot for one cgroup.
+
+        Keys: ``active``, ``weight`` (configured), ``weight_eff``
+        (donation-adjusted), ``hweight``, ``budget`` (vtime seconds of
+        headroom; negative = in debt), ``debt_walltime``, ``queued``
+        (bios waiting on budget), ``donating``.
+        """
+        state = self.tree.lookup(cgroup.path)
+        if state is None:
+            return {
+                "active": False,
+                "weight": cgroup.weight,
+                "weight_eff": float(cgroup.weight),
+                "hweight": 0.0,
+                "budget": 0.0,
+                "debt_walltime": 0.0,
+                "queued": 0,
+                "donating": False,
+            }
+        return {
+            "active": state.active,
+            "weight": cgroup.weight,
+            "weight_eff": state.weight_eff,
+            "hweight": self.tree.hweight(state),
+            "budget": self.clock.now() - state.local_vtime,
+            "debt_walltime": self.debt.debt_walltime(state),
+            "queued": len(state.waitq),
+            "donating": state.donating,
+        }

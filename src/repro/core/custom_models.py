@@ -1,0 +1,114 @@
+"""Custom cost models — the "arbitrary eBPF program" escape hatch (§3.2).
+
+The kernel allows replacing the linear model with an arbitrary eBPF
+program.  The Python equivalent is anything satisfying the
+:class:`~repro.core.cost_model.CostModel` protocol; this module ships the
+useful prebuilt shapes:
+
+* :class:`TableCostModel` — per-size-bucket cost tables per IO class, for
+  devices whose cost curve is distinctly non-linear (e.g. a large internal
+  stripe size, or read-modify-write cliffs).
+* :class:`PiecewiseLinearCostModel` — linear segments between breakpoints.
+* :class:`CallableCostModel` — wrap any ``f(bio) -> seconds``.
+
+All compose with :class:`~repro.core.controller.IOCost` unchanged — the
+controller only ever calls ``cost(bio)``.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from repro.block.bio import Bio
+
+#: IO classes keyed like the linear model: (is_write, sequential).
+IOClass = Tuple[bool, bool]
+
+
+class CallableCostModel:
+    """Wrap an arbitrary function as a cost model."""
+
+    def __init__(self, fn: Callable[[Bio], float]):
+        self._fn = fn
+
+    def cost(self, bio: Bio) -> float:
+        value = self._fn(bio)
+        if value <= 0:
+            raise ValueError(f"cost function returned non-positive {value}")
+        return value
+
+
+class TableCostModel:
+    """Step-function cost per IO class over size buckets.
+
+    ``tables`` maps an IO class to a sorted list of ``(max_bytes, cost)``
+    entries; an IO falls into the first bucket whose ``max_bytes`` is >=
+    its size.  IOs beyond the last bucket are charged pro-rata by size
+    (the last bucket's bytes-per-second rate).
+    """
+
+    def __init__(self, tables: Dict[IOClass, Sequence[Tuple[int, float]]]):
+        if not tables:
+            raise ValueError("need at least one IO-class table")
+        self._tables: Dict[IOClass, List[Tuple[int, float]]] = {}
+        for io_class, entries in tables.items():
+            entries = sorted(entries)
+            if not entries:
+                raise ValueError(f"empty table for {io_class}")
+            if any(cost <= 0 or size <= 0 for size, cost in entries):
+                raise ValueError("table entries must be positive")
+            self._tables[io_class] = list(entries)
+
+    def _table_for(self, bio: Bio) -> List[Tuple[int, float]]:
+        io_class = (bio.is_write, bio.sequential)
+        table = self._tables.get(io_class)
+        if table is None:
+            # Fall back to the direction-only table if present.
+            table = self._tables.get((bio.is_write, False)) or next(
+                iter(self._tables.values())
+            )
+        return table
+
+    def cost(self, bio: Bio) -> float:
+        table = self._table_for(bio)
+        sizes = [size for size, _ in table]
+        index = bisect.bisect_left(sizes, bio.nbytes)
+        if index < len(table):
+            return table[index][1]
+        # Beyond the table: extrapolate at the last bucket's byte rate.
+        last_size, last_cost = table[-1]
+        return last_cost * (bio.nbytes / last_size)
+
+
+class PiecewiseLinearCostModel:
+    """Linear interpolation between (bytes, cost) breakpoints per class."""
+
+    def __init__(self, segments: Dict[IOClass, Sequence[Tuple[int, float]]]):
+        if not segments:
+            raise ValueError("need at least one IO-class segment list")
+        self._segments: Dict[IOClass, List[Tuple[int, float]]] = {}
+        for io_class, points in segments.items():
+            points = sorted(points)
+            if len(points) < 2:
+                raise ValueError(f"need >=2 breakpoints for {io_class}")
+            if any(cost <= 0 for _, cost in points):
+                raise ValueError("costs must be positive")
+            self._segments[io_class] = list(points)
+
+    def cost(self, bio: Bio) -> float:
+        io_class = (bio.is_write, bio.sequential)
+        points = self._segments.get(io_class) or next(iter(self._segments.values()))
+        sizes = [size for size, _ in points]
+        nbytes = bio.nbytes
+        if nbytes <= sizes[0]:
+            return points[0][1]
+        if nbytes >= sizes[-1]:
+            # Extrapolate along the final segment's slope.
+            (x0, y0), (x1, y1) = points[-2], points[-1]
+            slope = (y1 - y0) / (x1 - x0)
+            return max(y1 + slope * (nbytes - x1), 1e-12)
+        index = bisect.bisect_right(sizes, nbytes)
+        (x0, y0), (x1, y1) = points[index - 1], points[index]
+        frac = (nbytes - x0) / (x1 - x0)
+        return y0 + frac * (y1 - y0)

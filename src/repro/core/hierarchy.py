@@ -1,0 +1,186 @@
+"""Hierarchical weight state: hweight compounding, caching, activity.
+
+``hweight`` is a cgroup's ultimate share of the device: the product, walking
+up the hierarchy, of its weight over the sum of its *active* siblings'
+weights (§3.1).  Recomputing that on every IO would put tree walks on the
+hot path, so results are cached per group and keyed on a *weight-tree
+generation number* which bumps whenever anything that affects hweights
+changes: weight updates, activations/deactivations, donation adjustments.
+
+A group is *active* while it issues IO; after a full planning period with no
+IO it is deactivated and drops out of sibling sums — idle groups implicitly
+donate their budget (§3.1.1).  Activity is reference-counted up the tree so
+internal nodes stay active while any descendant is.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Deque, Dict, Iterator, List, Optional
+
+from repro.cgroup import Cgroup
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.block.bio import Bio
+    from repro.sim import Event
+
+
+class GroupState:
+    """IOCost's per-cgroup state (the kernel's ``ioc_gq`` analogue)."""
+
+    def __init__(self, cgroup: Cgroup, parent: Optional["GroupState"]):
+        self.cgroup = cgroup
+        self.parent = parent
+        self.children: Dict[str, GroupState] = {}
+        # Effective weight: the configured weight, lowered while donating.
+        self.weight_eff: float = float(cgroup.weight)
+        self.donating = False
+        # Count of active groups in this subtree (including self).
+        self.active_refs = 0
+        self.active = False
+        # Issue-path state.
+        self.local_vtime = 0.0
+        self.waitq: Deque["Bio"] = deque()
+        self.wake_event: Optional["Event"] = None
+        # Planning-path accounting (reset each period).
+        self.abs_usage = 0.0
+        self.period_ios = 0
+        # Debt in relative-vtime seconds beyond global vtime (see debt.py).
+        # Hweight cache.
+        self._hw_gen = -1
+        self._hw_value = 0.0
+
+    @property
+    def is_leaf_like(self) -> bool:
+        """True when no active child exists (donation considers only these)."""
+        return not any(child.active_refs > 0 for child in self.children.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"GroupState({self.cgroup.path or '/'}, w_eff={self.weight_eff:.2f})"
+
+
+class WeightTree:
+    """The IOCost view of the cgroup hierarchy."""
+
+    def __init__(self) -> None:
+        self.generation = 0
+        self._states: Dict[str, GroupState] = {}
+        self.root: Optional[GroupState] = None
+
+    # -- state management ---------------------------------------------------
+
+    def state_of(self, cgroup: Cgroup) -> GroupState:
+        """Get or create the state chain for ``cgroup`` up to the root."""
+        state = self._states.get(cgroup.path)
+        if state is not None:
+            return state
+        parent_state = None
+        if cgroup.parent is not None:
+            parent_state = self.state_of(cgroup.parent)
+        state = GroupState(cgroup, parent_state)
+        self._states[cgroup.path] = state
+        if parent_state is not None:
+            parent_state.children[cgroup.name] = state
+        else:
+            self.root = state
+        self.bump()
+        return state
+
+    def lookup(self, path: str) -> Optional[GroupState]:
+        return self._states.get(path)
+
+    def states(self) -> Iterator[GroupState]:
+        return iter(self._states.values())
+
+    def active_leaves(self) -> List[GroupState]:
+        """Active groups with no active children (donation candidates)."""
+        return [
+            state
+            for state in self._states.values()
+            if state.active and state.is_leaf_like
+        ]
+
+    # -- generation ----------------------------------------------------------
+
+    def bump(self) -> None:
+        """Invalidate all cached hweights."""
+        self.generation += 1
+
+    # -- activity --------------------------------------------------------------
+
+    def activate(self, state: GroupState) -> None:
+        """Mark a group active (it issued IO).  No-op if already active."""
+        if state.active:
+            return
+        state.active = True
+        node: Optional[GroupState] = state
+        while node is not None:
+            node.active_refs += 1
+            node = node.parent
+        self.bump()
+
+    def deactivate(self, state: GroupState) -> None:
+        """Mark a group inactive (a full period passed with no IO)."""
+        if not state.active:
+            return
+        state.active = False
+        node: Optional[GroupState] = state
+        while node is not None:
+            node.active_refs -= 1
+            node = node.parent
+        self.bump()
+
+    # -- hweight ------------------------------------------------------------------
+
+    def hweight(self, state: GroupState) -> float:
+        """The group's share of the device, compounded over active siblings.
+
+        Cached; cost is O(depth) on a generation change and O(1) otherwise.
+        An inactive group's hweight is what it *would* get were it to
+        activate alongside the currently-active set.
+        """
+        if state._hw_gen == self.generation:
+            return state._hw_value
+        if state.parent is None:
+            value = 1.0
+        else:
+            siblings = sum(
+                child.weight_eff
+                for child in state.parent.children.values()
+                if child.active_refs > 0 or child is state
+            )
+            if siblings <= 0:
+                value = 0.0
+            else:
+                value = self.hweight(state.parent) * state.weight_eff / siblings
+        state._hw_gen = self.generation
+        state._hw_value = value
+        return value
+
+    # -- weight updates ------------------------------------------------------------
+
+    def refresh_base_weights(self) -> None:
+        """Reset effective weights to the configured cgroup weights.
+
+        The planning path calls this before recomputing donations, which
+        also picks up any ``cgroup.weight`` changes made since last period.
+        """
+        for state in self._states.values():
+            state.weight_eff = float(state.cgroup.weight)
+            state.donating = False
+        self.bump()
+
+    def rescind(self, state: GroupState) -> None:
+        """Issue-path donation rescind (§3.6 requirement 3).
+
+        Restores configured weights along the donor's path to the root.  The
+        paper propagates an exact partial update; restoring the full base
+        weight on the path is a conservative approximation that lasts at
+        most one planning period (donations are recomputed every period).
+        """
+        node: Optional[GroupState] = state
+        while node is not None:
+            node.weight_eff = float(node.cgroup.weight)
+            node.donating = False
+            node = node.parent
+        self.bump()

@@ -1,0 +1,127 @@
+"""QoS parameters and dynamic vrate adjustment (paper §3.3).
+
+Simple linear models cannot capture modern SSDs (caching, reordering,
+garbage collection), so IOCost adjusts the global ``vrate`` on two signals:
+
+* **device saturation** — the configured completion-latency percentile
+  exceeds its target, or in-flight requests deplete the available request
+  slots → lower vrate;
+* **budget deficiency** — the kernel could issue more IO (bios are waiting
+  on budget) while the device is *not* saturated → raise vrate.
+
+``vrate`` is bounded by administrator-configured ``vrate_min``/``vrate_max``
+(derived per device with :mod:`repro.core.qos_tuning`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.analysis.stats import LatencyWindow, TimeSeries
+from repro.core.vtime import VTimeClock
+
+
+@dataclass(frozen=True)
+class QoSParams:
+    """Per-device QoS configuration (the kernel's ``io.cost.qos`` analogue).
+
+    ``read_lat_target``/``write_lat_target`` of ``None`` disable the
+    corresponding latency signal (the paper's "QoS disabled" overhead runs).
+    ``vrate_min``/``vrate_max`` are fractions (1.0 = 100%).
+    """
+
+    read_lat_target: Optional[float] = 5e-3
+    read_pct: float = 95.0
+    write_lat_target: Optional[float] = 20e-3
+    write_pct: float = 95.0
+    vrate_min: float = 0.25
+    vrate_max: float = 4.0
+    period: float = 0.05
+    #: Request-slot utilisation treated as depletion (saturation signal).
+    slot_depletion_threshold: float = 0.95
+
+    def __post_init__(self) -> None:
+        if self.period <= 0:
+            raise ValueError("period must be positive")
+        if not 0 < self.vrate_min <= self.vrate_max:
+            raise ValueError("need 0 < vrate_min <= vrate_max")
+        for pct in (self.read_pct, self.write_pct):
+            if not 0 < pct <= 100:
+                raise ValueError("percentiles must be in (0, 100]")
+
+
+class VRateController:
+    """Periodic vrate adjustment driven by saturation/starvation signals."""
+
+    #: Multiplicative step when raising vrate (device idle + budget-starved).
+    RAISE_FACTOR = 1.05
+    #: Hardest single-period cut when saturated.
+    MAX_CUT = 0.7
+
+    def __init__(self, clock: VTimeClock, qos: QoSParams) -> None:
+        self.clock = clock
+        self.qos = qos
+        self.vrate_series = TimeSeries("vrate")
+        self.read_lat_series = TimeSeries("read_latency")
+        self.saturation_events = 0
+        self.starvation_events = 0
+
+    # -- signal extraction ---------------------------------------------------
+
+    def _latency_violation(
+        self, now: float, window: LatencyWindow, target: Optional[float], pct: float
+    ) -> Optional[float]:
+        """Return observed/target ratio if violating, else None."""
+        if target is None:
+            return None
+        observed = window.percentile(now, pct)
+        if observed is None:
+            return None
+        if observed > target:
+            return observed / target
+        return None
+
+    # -- adjustment ---------------------------------------------------------
+
+    def adjust(
+        self,
+        now: float,
+        read_window: LatencyWindow,
+        write_window: LatencyWindow,
+        slot_utilization: float,
+        budget_starved: bool,
+    ) -> float:
+        """One planning-period adjustment; returns the new vrate."""
+        qos = self.qos
+        read_excess = self._latency_violation(
+            now, read_window, qos.read_lat_target, qos.read_pct
+        )
+        write_excess = self._latency_violation(
+            now, write_window, qos.write_lat_target, qos.write_pct
+        )
+        depleted = slot_utilization >= qos.slot_depletion_threshold
+
+        vrate = self.clock.vrate
+        excess = max(read_excess or 0.0, write_excess or 0.0)
+        if excess > 0 or depleted:
+            self.saturation_events += 1
+            if excess > 0:
+                # Cut proportionally to how far over target we are, bounded.
+                cut = max(self.MAX_CUT, min(0.95, 1.0 / excess ** 0.5))
+            else:
+                cut = 0.9
+            vrate *= cut
+        elif budget_starved:
+            self.starvation_events += 1
+            vrate *= self.RAISE_FACTOR
+
+        vrate = min(max(vrate, qos.vrate_min), qos.vrate_max)
+        if vrate != self.clock.vrate:
+            self.clock.set_vrate(vrate)
+
+        self.vrate_series.record(now, vrate)
+        read_p = read_window.percentile(now, qos.read_pct)
+        if read_p is not None:
+            self.read_lat_series.record(now, read_p)
+        return vrate

@@ -1,0 +1,49 @@
+"""The global virtual-time clock (paper §3.1, step ④).
+
+Global ``vtime`` progresses with the (simulated) wall clock at a rate set by
+``vrate``: at vrate 1.5 the clock generates budget 1.5× faster than the
+device cost model nominally allows.  Each cgroup's *local* vtime advances by
+the relative cost of every IO it issues; the gap ``global - local`` is the
+group's available budget.
+
+The clock is piecewise linear: ``set_vrate`` re-anchors the line so past
+vtime is unaffected and future vtime accrues at the new rate.
+"""
+
+from __future__ import annotations
+
+from repro.sim import Simulator
+
+
+class VTimeClock:
+    """Piecewise-linear virtual clock over a simulator's wall clock."""
+
+    def __init__(self, sim: Simulator, vrate: float = 1.0) -> None:
+        if vrate <= 0:
+            raise ValueError("vrate must be positive")
+        self.sim = sim
+        self._vrate = vrate
+        self._anchor_wall = sim.now
+        self._anchor_vtime = 0.0
+
+    @property
+    def vrate(self) -> float:
+        return self._vrate
+
+    def set_vrate(self, vrate: float) -> None:
+        """Change the rate from now on (history is preserved)."""
+        if vrate <= 0:
+            raise ValueError("vrate must be positive")
+        self._anchor_vtime = self.now()
+        self._anchor_wall = self.sim.now
+        self._vrate = vrate
+
+    def now(self) -> float:
+        """Current global vtime."""
+        return self._anchor_vtime + (self.sim.now - self._anchor_wall) * self._vrate
+
+    def wall_delay_for(self, vtime_gap: float) -> float:
+        """Wall-clock seconds until vtime advances by ``vtime_gap``."""
+        if vtime_gap <= 0:
+            return 0.0
+        return vtime_gap / self._vrate

@@ -1,0 +1,12 @@
+"""Filesystem substrate: the shared journal (paper §3.5).
+
+Journaling is the second priority-inversion source the paper names:
+transactions from many cgroups share commit batches, so one cgroup's
+``fsync`` can only complete once *other* cgroups' journal records are on
+disk.  :class:`~repro.fs.journal.Journal` reproduces that coupling; the
+JOURNAL-flagged bios it emits follow the same debt protocol as swap-out.
+"""
+
+from repro.fs.journal import Journal, JournalStats
+
+__all__ = ["Journal", "JournalStats"]

@@ -1,0 +1,13 @@
+"""Memory-management substrate.
+
+Reproduces the slice of Linux MM that IO control interacts with (paper
+§3.5, Figures 14/15/17): per-cgroup anonymous memory, global reclaim that
+swaps out the owner's pages on someone else's allocation (the
+priority-inversion source), page faults that swap back in, the OOM killer,
+and the return-to-userspace debt throttle hook.
+"""
+
+from repro.mm.memory import MemoryManager, MemState, OOMKill
+from repro.mm.pagecache import DirtyState, PageCache
+
+__all__ = ["DirtyState", "MemState", "MemoryManager", "OOMKill", "PageCache"]

@@ -1,0 +1,33 @@
+"""Discrete-event simulation engine.
+
+This subpackage provides the time substrate for the whole reproduction: a
+deterministic event-heap simulator (:class:`~repro.sim.engine.Simulator`),
+generator-based cooperative processes (:class:`~repro.sim.engine.Process`),
+waitable one-shot signals (:class:`~repro.sim.engine.Signal`), and seeded
+random-variate helpers (:mod:`repro.sim.distributions`).
+
+The engine plays the role that real wall-clock time plays in the paper's
+testbed.  Every latency the paper measures on hardware is, here, the
+difference of two simulated timestamps.
+"""
+
+from repro.sim.engine import (
+    CancelledError,
+    Event,
+    Process,
+    Signal,
+    SimulationError,
+    Simulator,
+)
+from repro.sim.distributions import LatencyDistribution, RandomStreams
+
+__all__ = [
+    "CancelledError",
+    "Event",
+    "LatencyDistribution",
+    "Process",
+    "RandomStreams",
+    "Signal",
+    "SimulationError",
+    "Simulator",
+]

@@ -1,0 +1,83 @@
+"""Seeded random variates for device and workload models.
+
+Two pieces live here:
+
+* :class:`RandomStreams` — a root seed fanned out into independent named
+  substreams, so adding a new random consumer never perturbs existing ones
+  (the property that keeps regression baselines stable).
+* :class:`LatencyDistribution` — the service-time shape used by the device
+  models: a lognormal body around a median with a controllable tail, which
+  matches the "mostly tight, occasionally long" behaviour of real SSDs that
+  the paper's QoS machinery reacts to.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict
+
+import numpy as np
+
+
+class RandomStreams:
+    """Fan a root seed out into independent, reproducible named streams."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+        self._streams: Dict[str, np.random.Generator] = {}
+
+    def stream(self, name: str) -> np.random.Generator:
+        """Return (creating on first use) the generator for ``name``."""
+        if name not in self._streams:
+            digest = hashlib.sha256(f"{self.seed}:{name}".encode()).digest()
+            child_seed = int.from_bytes(digest[:8], "little")
+            self._streams[name] = np.random.default_rng(child_seed)
+        return self._streams[name]
+
+
+class LatencyDistribution:
+    """Lognormal service-time distribution parameterised by its median.
+
+    Parameters
+    ----------
+    median:
+        Median service time in seconds.
+    sigma:
+        Lognormal shape parameter; 0 degenerates to a constant.
+    tail_prob, tail_scale:
+        With probability ``tail_prob`` a sample is multiplied by
+        ``tail_scale`` — the occasional garbage-collection-style stall that
+        simple linear cost models cannot capture (paper §3.3).
+    """
+
+    __slots__ = ("median", "sigma", "tail_prob", "tail_scale")
+
+    def __init__(
+        self,
+        median: float,
+        sigma: float = 0.25,
+        tail_prob: float = 0.0,
+        tail_scale: float = 1.0,
+    ) -> None:
+        if median <= 0:
+            raise ValueError("median must be positive")
+        self.median = median
+        self.sigma = sigma
+        self.tail_prob = tail_prob
+        self.tail_scale = tail_scale
+
+    def sample(self, rng: np.random.Generator) -> float:
+        """Draw one service time."""
+        if self.sigma > 0:
+            value = self.median * float(np.exp(rng.normal(0.0, self.sigma)))
+        else:
+            value = self.median
+        if self.tail_prob > 0 and rng.random() < self.tail_prob:
+            value *= self.tail_scale
+        return value
+
+    def scaled(self, factor: float) -> "LatencyDistribution":
+        """A copy with the median scaled by ``factor`` (same shape)."""
+        return LatencyDistribution(
+            self.median * factor, self.sigma, self.tail_prob, self.tail_scale
+        )

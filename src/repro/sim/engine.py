@@ -1,0 +1,237 @@
+"""Deterministic discrete-event simulation engine.
+
+The engine is a classic event-heap simulator.  Time is a float in seconds.
+Three primitives cover everything the reproduction needs:
+
+* :meth:`Simulator.schedule` — run a callback after a delay (returns an
+  :class:`Event` handle that can be cancelled, used for timers such as the
+  IOCost planning period).
+* :class:`Signal` — a one-shot waitable event used for IO completions and
+  request/response rendezvous.
+* :class:`Process` — a cooperative task written as a generator.  A process
+  may ``yield`` a number (sleep that many seconds), a :class:`Signal` (wait
+  until it fires), or another :class:`Process` (wait for it to finish).
+
+Determinism: ties in the event heap are broken by insertion order, so two
+runs with the same seeds produce identical traces.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Generator, List, Optional
+
+
+class SimulationError(RuntimeError):
+    """Raised for invalid engine usage (e.g. bad yield values)."""
+
+
+class CancelledError(SimulationError):
+    """Raised inside a process that is interrupted via :meth:`Process.cancel`."""
+
+
+class Event:
+    """Handle for a scheduled callback.
+
+    Returned by :meth:`Simulator.schedule`; supports cancellation, which is
+    how periodic timers and latency-governed workloads stand down.
+    """
+
+    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+
+    def __init__(self, time: float, seq: int, callback: Callable[..., Any], args: tuple):
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the callback from running.  Idempotent."""
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+
+class Signal:
+    """A one-shot waitable event carrying an optional value.
+
+    Processes wait on a signal by yielding it; plain callbacks can subscribe
+    with :meth:`wait`.  Firing an already-fired signal is an error; waiting
+    on a fired signal resumes the waiter immediately.
+    """
+
+    __slots__ = ("sim", "fired", "value", "_waiters")
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self.fired = False
+        self.value: Any = None
+        self._waiters: List[Callable[[Any], None]] = []
+
+    def fire(self, value: Any = None) -> None:
+        """Fire the signal, resuming all waiters in subscription order."""
+        if self.fired:
+            raise SimulationError("signal fired twice")
+        self.fired = True
+        self.value = value
+        waiters, self._waiters = self._waiters, []
+        for waiter in waiters:
+            waiter(value)
+
+    def wait(self, callback: Callable[[Any], None]) -> None:
+        """Invoke ``callback(value)`` when the signal fires (now if already fired)."""
+        if self.fired:
+            callback(self.value)
+        else:
+            self._waiters.append(callback)
+
+
+class Process:
+    """A generator-based cooperative task.
+
+    The wrapped generator drives the process; see the module docstring for
+    the yield protocol.  The process itself is waitable (another process may
+    yield it), and exposes :attr:`done`, :attr:`result`, and :meth:`cancel`.
+    """
+
+    def __init__(self, sim: "Simulator", gen: Generator, name: str = ""):
+        self.sim = sim
+        self.gen = gen
+        self.name = name or getattr(gen, "__name__", "process")
+        self.done = False
+        self.result: Any = None
+        self.completion = Signal(sim)
+        self._pending_event: Optional[Event] = None
+        self._cancelled = False
+
+    def cancel(self) -> None:
+        """Interrupt the process by raising :class:`CancelledError` inside it."""
+        if self.done or self._cancelled:
+            return
+        self._cancelled = True
+        if self._pending_event is not None:
+            self._pending_event.cancel()
+            self._pending_event = None
+        self.sim.schedule(0.0, self._throw_cancel)
+
+    def _throw_cancel(self) -> None:
+        if self.done:
+            return
+        try:
+            self.gen.throw(CancelledError("process cancelled"))
+        except (StopIteration, CancelledError):
+            self._finish(None)
+        else:
+            # The generator swallowed the cancellation; let it keep running
+            # from whatever it yields next.
+            raise SimulationError(f"process {self.name!r} ignored cancellation")
+
+    def _finish(self, result: Any) -> None:
+        self.done = True
+        self.result = result
+        self.completion.fire(result)
+
+    def _step(self, send_value: Any = None) -> None:
+        if self.done:
+            # A stale wake-up (e.g. a signal firing after the process was
+            # cancelled) must not resurrect a finished process.
+            return
+        self._pending_event = None
+        try:
+            yielded = self.gen.send(send_value)
+        except StopIteration as stop:
+            self._finish(stop.value)
+            return
+        self._handle_yield(yielded)
+
+    def _handle_yield(self, yielded: Any) -> None:
+        if isinstance(yielded, (int, float)):
+            if yielded < 0:
+                raise SimulationError(f"process {self.name!r} yielded negative delay")
+            self._pending_event = self.sim.schedule(float(yielded), self._step, None)
+        elif isinstance(yielded, Signal):
+            yielded.wait(self._step)
+        elif isinstance(yielded, Process):
+            yielded.completion.wait(self._step)
+        else:
+            raise SimulationError(
+                f"process {self.name!r} yielded unsupported value {yielded!r}"
+            )
+
+
+class Simulator:
+    """Event-heap simulator with a float clock in seconds."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self._heap: List[Event] = []
+        self._seq = itertools.count()
+
+    # -- scheduling -------------------------------------------------------
+
+    def schedule(self, delay: float, callback: Callable[..., Any], *args: Any) -> Event:
+        """Run ``callback(*args)`` after ``delay`` seconds; returns a handle."""
+        if delay < 0:
+            raise SimulationError("cannot schedule into the past")
+        event = Event(self.now + delay, next(self._seq), callback, args)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def schedule_at(self, time: float, callback: Callable[..., Any], *args: Any) -> Event:
+        """Run ``callback(*args)`` at absolute simulated ``time``."""
+        return self.schedule(time - self.now, callback, *args)
+
+    def signal(self) -> Signal:
+        """Create a fresh one-shot :class:`Signal` bound to this simulator."""
+        return Signal(self)
+
+    def process(self, gen: Generator, name: str = "") -> Process:
+        """Start a generator as a :class:`Process` (first step runs at ``now``)."""
+        proc = Process(self, gen, name)
+        self.schedule(0.0, proc._step, None)
+        return proc
+
+    # -- execution --------------------------------------------------------
+
+    def step(self) -> bool:
+        """Run the next pending event.  Returns False if the heap is empty."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self.now = event.time
+            event.callback(*event.args)
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run events until the heap drains or the clock passes ``until``.
+
+        With ``until`` set, the clock is advanced to exactly ``until`` at the
+        end even if no event lands there, so back-to-back ``run`` calls tile
+        the timeline.
+        """
+        if until is None:
+            while self.step():
+                pass
+            return
+        if until < self.now:
+            raise SimulationError("cannot run backwards")
+        while self._heap:
+            event = self._heap[0]
+            if event.cancelled:
+                heapq.heappop(self._heap)
+                continue
+            if event.time > until:
+                break
+            self.step()
+        self.now = until
+
+    def peek(self) -> Optional[float]:
+        """Time of the next non-cancelled event, or None if idle."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None

@@ -1,0 +1,172 @@
+"""A one-machine experiment testbed — the library's convenience facade.
+
+Bundles a simulator, a catalogued device, a controller, the Figure 1 cgroup
+hierarchy, and (optionally) the memory-management substrate, with helpers
+to attach workloads and measure per-cgroup throughput over run windows.
+Examples and the benchmark harness are written against this API.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Union
+
+import numpy as np
+
+from repro.block.device import Device, DeviceSpec
+from repro.block.layer import BlockLayer
+from repro.block.device_models import get_device_spec
+from repro.cgroup import Cgroup, CgroupTree, make_meta_hierarchy
+from repro.controllers.base import IOController
+from repro.controllers.bfq import BFQController
+from repro.controllers.blk_throttle import BlkThrottleController
+from repro.controllers.iolatency import IOLatencyController
+from repro.controllers.kyber import KyberController
+from repro.controllers.mq_deadline import MQDeadlineController
+from repro.controllers.noop import NoopController
+from repro.core.controller import IOCost
+from repro.core.cost_model import LinearCostModel, ModelParams
+from repro.core.qos import QoSParams
+from repro.mm.memory import MemoryManager
+from repro.sim import Simulator
+from repro.workloads.synthetic import (
+    ClosedLoopWorkload,
+    LatencyGovernedWorkload,
+    PacedWorkload,
+    ThinkTimeWorkload,
+)
+
+GB = 1024 ** 3
+
+
+def make_controller(
+    name: str,
+    spec: DeviceSpec,
+    qos: Optional[QoSParams] = None,
+    model_params: Optional[ModelParams] = None,
+    **kwargs,
+) -> IOController:
+    """Build a controller by Table 1 name.
+
+    For ``iocost`` the cost model defaults to the oracle parameters of the
+    simulated device (production flows would use
+    :func:`repro.core.profiler.profile_device` instead) and ``qos``
+    defaults to :class:`~repro.core.qos.QoSParams`'s defaults.
+    """
+    if name == "iocost":
+        params = model_params or ModelParams.from_device_spec(spec)
+        return IOCost(LinearCostModel(params), qos=qos or QoSParams(), **kwargs)
+    simple = {
+        "none": NoopController,
+        "mq-deadline": MQDeadlineController,
+        "kyber": KyberController,
+        "blk-throttle": BlkThrottleController,
+        "bfq": BFQController,
+        "iolatency": IOLatencyController,
+    }
+    if name not in simple:
+        raise ValueError(f"unknown controller {name!r}")
+    return simple[name](**kwargs)
+
+
+class Testbed:
+    """One simulated machine: device + controller + cgroups (+ memory)."""
+
+    __test__ = False  # not a pytest collection target despite the name
+
+    def __init__(
+        self,
+        device: Union[str, DeviceSpec] = "ssd_new",
+        controller: Union[str, IOController] = "iocost",
+        seed: int = 0,
+        mem_bytes: Optional[int] = None,
+        swap_bytes: Optional[int] = None,
+        qos: Optional[QoSParams] = None,
+        model_params: Optional[ModelParams] = None,
+        protected: Optional[Dict[str, int]] = None,
+        **controller_kwargs,
+    ):
+        self.sim = Simulator()
+        self.spec = device if isinstance(device, DeviceSpec) else get_device_spec(device)
+        self.device = Device(self.sim, self.spec, np.random.default_rng(seed))
+        if isinstance(controller, IOController):
+            self.controller = controller
+        else:
+            self.controller = make_controller(
+                controller, self.spec, qos=qos, model_params=model_params,
+                **controller_kwargs,
+            )
+        self.layer = BlockLayer(self.sim, self.device, self.controller)
+        self.cgroups: CgroupTree = make_meta_hierarchy()
+        self.mm: Optional[MemoryManager] = None
+        if mem_bytes is not None:
+            self.mm = MemoryManager(
+                self.sim,
+                self.layer,
+                total_bytes=mem_bytes,
+                swap_bytes=swap_bytes if swap_bytes is not None else 16 * mem_bytes,
+                protected=protected,
+            )
+        self._seed = seed
+        self._seed_counter = seed + 1
+        self._window_start = 0.0
+        self._window_snapshot: Dict[str, int] = {}
+
+    # -- cgroups ------------------------------------------------------------
+
+    def add_cgroup(self, path: str, weight: int = 100) -> Cgroup:
+        return self.cgroups.get_or_create(path, weight=weight)
+
+    def set_weight(self, cgroup: Cgroup, weight: int) -> None:
+        if isinstance(self.controller, IOCost):
+            self.controller.set_weight(cgroup, weight)
+        else:
+            cgroup.weight = weight
+
+    # -- workload attachment ----------------------------------------------------
+
+    def _next_seed(self) -> int:
+        self._seed_counter += 1
+        return self._seed_counter
+
+    def saturate(self, cgroup: Cgroup, **kwargs) -> ClosedLoopWorkload:
+        kwargs.setdefault("seed", self._next_seed())
+        return ClosedLoopWorkload(self.sim, self.layer, cgroup, **kwargs).start()
+
+    def paced(self, cgroup: Cgroup, rate: float, **kwargs) -> PacedWorkload:
+        kwargs.setdefault("seed", self._next_seed())
+        return PacedWorkload(self.sim, self.layer, cgroup, rate, **kwargs).start()
+
+    def think_time(self, cgroup: Cgroup, **kwargs) -> ThinkTimeWorkload:
+        kwargs.setdefault("seed", self._next_seed())
+        return ThinkTimeWorkload(self.sim, self.layer, cgroup, **kwargs).start()
+
+    def latency_governed(self, cgroup: Cgroup, **kwargs) -> LatencyGovernedWorkload:
+        kwargs.setdefault("seed", self._next_seed())
+        return LatencyGovernedWorkload(self.sim, self.layer, cgroup, **kwargs).start()
+
+    # -- execution & measurement ---------------------------------------------------
+
+    def run(self, duration: float) -> None:
+        """Advance the simulation; starts a fresh measurement window."""
+        self._window_start = self.sim.now
+        self._window_snapshot = self.layer.snapshot_counts()
+        self.sim.run(until=self.sim.now + duration)
+
+    @property
+    def window_duration(self) -> float:
+        return self.sim.now - self._window_start
+
+    def iops(self, cgroup: Cgroup) -> float:
+        """Completed IO/s for the cgroup over the last ``run`` window."""
+        duration = self.window_duration
+        if duration <= 0:
+            raise ValueError("no completed run window")
+        done = self.layer.iops_of(cgroup, since_counts=self._window_snapshot)
+        return done / duration
+
+    def latency_percentile(self, cgroup: Cgroup, pct: float) -> Optional[float]:
+        return self.layer.cgroup_window(cgroup.path).percentile(self.sim.now, pct)
+
+    def detach(self) -> None:
+        """Tear down controller timers (end of experiment)."""
+        self.controller.detach()

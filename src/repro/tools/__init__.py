@@ -1,0 +1,10 @@
+"""Command-line tools mirroring the paper's open-sourced tooling.
+
+* ``python -m repro.tools.profile <device>`` — fio-style device profiling
+  into an ``io.cost.model`` configuration line (§3.2).
+* ``python -m repro.tools.tune <device>`` — the §3.4 two-scenario QoS
+  sweep deriving vrate bounds.
+* ``python -m repro.tools.compare <device>`` — run the canonical
+  proportional-control scenario under every mechanism and print the
+  comparison table.
+"""

@@ -1,0 +1,50 @@
+"""Workload generators for the paper's experiments."""
+
+from repro.workloads.base import SectorPicker, Workload
+from repro.workloads.synthetic import (
+    ClosedLoopWorkload,
+    LatencyGovernedWorkload,
+    PacedWorkload,
+    ThinkTimeWorkload,
+)
+from repro.workloads.profiles import MixedWorkload, WORKLOAD_PROFILES, WorkloadProfile
+from repro.workloads.rcbench import ResourceControlBench, WebServer
+from repro.workloads.memleak import MemoryLeaker, StressWorkload
+from repro.workloads.pid import LoadRamp, PIDController
+from repro.workloads.zookeeper import Machine, ZooKeeperEnsemble
+from repro.workloads.fleet import (
+    CONTAINER_CLEANUP,
+    PACKAGE_FETCH,
+    FleetMigration,
+    SystemTask,
+    WeeklyReport,
+    measure_task_durations,
+    run_task_once,
+)
+
+__all__ = [
+    "CONTAINER_CLEANUP",
+    "ClosedLoopWorkload",
+    "FleetMigration",
+    "LatencyGovernedWorkload",
+    "LoadRamp",
+    "Machine",
+    "MemoryLeaker",
+    "MixedWorkload",
+    "PACKAGE_FETCH",
+    "PIDController",
+    "PacedWorkload",
+    "ResourceControlBench",
+    "SectorPicker",
+    "StressWorkload",
+    "SystemTask",
+    "ThinkTimeWorkload",
+    "WORKLOAD_PROFILES",
+    "WebServer",
+    "WeeklyReport",
+    "Workload",
+    "WorkloadProfile",
+    "ZooKeeperEnsemble",
+    "measure_task_durations",
+    "run_task_once",
+]

@@ -1,0 +1,73 @@
+"""Workload base classes and helpers."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.analysis.stats import Summary
+from repro.block.bio import Bio, IOOp
+from repro.block.layer import BlockLayer
+from repro.cgroup import Cgroup
+from repro.sim import Simulator
+
+PAGE = 4096
+
+
+class SectorPicker:
+    """Generates page-aligned sectors, random or sequential."""
+
+    def __init__(self, rng: np.random.Generator, sequential: bool, span_sectors: int = 1 << 31):
+        self.rng = rng
+        self.sequential = sequential
+        self.span = span_sectors
+        self._next = int(rng.integers(0, span_sectors // 2)) // 8 * 8
+
+    def next(self, nbytes: int) -> int:
+        if self.sequential:
+            sector = self._next
+            self._next += (nbytes + 511) // 512
+            return sector
+        return int(self.rng.integers(1, self.span // 8)) * 8
+
+
+class Workload:
+    """Base class: owns its cgroup, tracks completions and latencies."""
+
+    def __init__(self, sim: Simulator, layer: BlockLayer, cgroup: Cgroup, seed: int = 0):
+        self.sim = sim
+        self.layer = layer
+        self.cgroup = cgroup
+        self.rng = np.random.default_rng(seed)
+        self.completed = 0
+        self.bytes_done = 0
+        self.latencies: List[float] = []
+        self.running = False
+
+    def start(self) -> "Workload":
+        self.running = True
+        return self
+
+    def stop(self) -> None:
+        self.running = False
+
+    def _record(self, bio: Bio) -> None:
+        self.completed += 1
+        self.bytes_done += bio.nbytes
+        self.latencies.append(bio.latency)
+
+    def iops(self, duration: float) -> float:
+        return self.completed / duration
+
+    def latency_summary(self) -> Summary:
+        return Summary.of(self.latencies)
+
+    def recent_percentile(self, pct: float, last: int = 200) -> Optional[float]:
+        """Percentile over the most recent ``last`` completions."""
+        if not self.latencies:
+            return None
+        window = self.latencies[-last:]
+        window = sorted(window)
+        rank = max(1, int(round(pct / 100 * len(window))))
+        return window[rank - 1]

@@ -1,0 +1,95 @@
+"""Memory-antagonist workloads: the leaker and the stressor.
+
+* :class:`MemoryLeaker` — allocates memory at a fixed rate forever (the
+  misbehaving system service of Figures 14/17/18); eventually OOM-killed.
+* :class:`StressWorkload` — the ``stress`` tool of Figure 15: holds a fixed
+  working set and touches it continuously, faulting pages back in whenever
+  reclaim pushes them out.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.mm.memory import MemoryManager
+from repro.workloads.base import Workload
+
+MB = 1024 * 1024
+
+
+class MemoryLeaker(Workload):
+    """Allocates ``rate_bps`` forever until OOM-killed."""
+
+    def __init__(
+        self,
+        sim,
+        layer,
+        mm: MemoryManager,
+        cgroup,
+        rate_bps: float = 200 * MB,
+        chunk: int = 4 * MB,
+        stop_at: Optional[float] = None,
+        seed: int = 0,
+    ):
+        super().__init__(sim, layer, cgroup, seed)
+        self.mm = mm
+        self.rate_bps = rate_bps
+        self.chunk = chunk
+        self.stop_at = stop_at
+        self.killed = False
+        self.allocated = 0
+
+    def start(self):
+        super().start()
+        self.mm.on_oom(self.cgroup, self._oom_killed)
+        self.sim.process(self._leak_loop(), name=f"memleak-{self.cgroup.path}")
+        return self
+
+    def _oom_killed(self):
+        self.killed = True
+        self.running = False
+
+    def _leak_loop(self):
+        pace = self.chunk / self.rate_bps
+        while self.running and (self.stop_at is None or self.sim.now < self.stop_at):
+            yield from self.mm.alloc(self.cgroup, self.chunk)
+            if not self.running:  # OOM fired during the allocation
+                break
+            self.allocated += self.chunk
+            yield pace
+
+
+class StressWorkload(Workload):
+    """Holds ``working_set`` bytes and touches them continuously."""
+
+    def __init__(
+        self,
+        sim,
+        layer,
+        mm: MemoryManager,
+        cgroup,
+        working_set: int = 512 * MB,
+        touch_chunk: int = 8 * MB,
+        touch_interval: float = 0.01,
+        stop_at: Optional[float] = None,
+        seed: int = 0,
+    ):
+        super().__init__(sim, layer, cgroup, seed)
+        self.mm = mm
+        self.working_set = working_set
+        self.touch_chunk = touch_chunk
+        self.touch_interval = touch_interval
+        self.stop_at = stop_at
+        self.touches = 0
+
+    def start(self):
+        super().start()
+        self.sim.process(self._stress_loop(), name=f"stress-{self.cgroup.path}")
+        return self
+
+    def _stress_loop(self):
+        yield from self.mm.alloc(self.cgroup, self.working_set)
+        while self.running and (self.stop_at is None or self.sim.now < self.stop_at):
+            yield from self.mm.touch(self.cgroup, self.touch_chunk)
+            self.touches += 1
+            yield self.touch_interval

@@ -1,0 +1,63 @@
+"""Tests for the ASCII figure renderer."""
+
+import pytest
+
+from repro.analysis.figures import render_series, sparkline
+from repro.analysis.stats import TimeSeries
+
+
+class TestSparkline:
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_constant_series_is_flat(self):
+        line = sparkline([5.0] * 10)
+        assert len(set(line)) == 1
+
+    def test_monotone_series_uses_increasing_blocks(self):
+        line = sparkline(list(range(9)))
+        assert line[0] < line[-1]
+        assert len(line) == 9
+
+    def test_resampled_to_width(self):
+        line = sparkline(list(range(1000)), width=40)
+        assert len(line) == 40
+
+
+class TestRenderSeries:
+    def make_series(self):
+        series = TimeSeries("x")
+        for index in range(50):
+            series.record(index * 0.1, float(index % 10))
+        return series
+
+    def test_empty_series(self):
+        assert "no data" in render_series(TimeSeries("x"))
+
+    def test_contains_title_and_bounds(self):
+        out = render_series(self.make_series(), title="demo", width=40, height=6)
+        assert "demo" in out
+        assert "9" in out  # max label
+        assert "|" in out and "+" in out
+
+    def test_dimensions(self):
+        out = render_series(self.make_series(), title="t", width=40, height=6)
+        lines = out.splitlines()
+        # title + height rows + axis + time labels
+        assert len(lines) == 1 + 6 + 1 + 1
+        for line in lines[1:7]:
+            assert len(line) <= 10 + 40
+
+    def test_markers_rendered(self):
+        out = render_series(
+            self.make_series(), width=40, markers=[(2.0, "update")]
+        )
+        assert "^" in out
+        assert "update" in out
+
+    def test_flat_series_does_not_crash(self):
+        series = TimeSeries("flat")
+        series.record(0.0, 1.0)
+        series.record(1.0, 1.0)
+        out = render_series(series, width=20, height=4)
+        assert "•" in out

@@ -1,0 +1,56 @@
+"""Tests for the report/table emitters."""
+
+import pytest
+
+from repro.analysis.report import Table, format_ratio, format_si
+
+
+class TestFormatSI:
+    @pytest.mark.parametrize(
+        "value,expected",
+        [
+            (750_000, "750.00K"),
+            (1_500_000, "1.50M"),
+            (2.5e9, "2.50G"),
+            (42.0, "42.00"),
+        ],
+    )
+    def test_prefixes(self, value, expected):
+        assert format_si(value) == expected
+
+    def test_unit_suffix(self):
+        assert format_si(1e6, "IOPS") == "1.00MIOPS"
+
+
+class TestFormatRatio:
+    def test_basic(self):
+        assert format_ratio(20, 10) == "2.00:1"
+
+    def test_zero_denominator(self):
+        assert format_ratio(5, 0) == "inf:1"
+
+
+class TestTable:
+    def test_render_contains_rows_and_title(self):
+        table = Table("Figure X", ["mech", "iops"])
+        table.add_row("iocost", 750000)
+        table.add_row("bfq", 120000)
+        text = str(table)
+        assert "Figure X" in text
+        assert "iocost" in text
+        assert "750000" in text
+        lines = text.splitlines()
+        assert len(lines) == 6  # title, rule, header, rule, 2 rows
+
+    def test_wrong_cell_count_rejected(self):
+        table = Table("t", ["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row("only-one")
+
+    def test_columns_aligned(self):
+        table = Table("t", ["name", "value"])
+        table.add_row("x", 1)
+        table.add_row("longer-name", 22)
+        lines = str(table).splitlines()
+        # All data rows have the value column starting at the same offset.
+        assert lines[4].index("1") == lines[5].index("2")

@@ -1,0 +1,64 @@
+"""Tests for the device catalogue."""
+
+import pytest
+
+from repro.block.device_models import (
+    DEVICE_CATALOG,
+    SSD_ENTERPRISE,
+    SSD_NEW,
+    SSD_OLD,
+    get_device_spec,
+)
+
+
+def test_catalogue_contains_all_families():
+    names = set(DEVICE_CATALOG)
+    assert {"ssd_old", "ssd_new", "ssd_enterprise", "hdd"} <= names
+    assert {f"fleet_{letter}" for letter in "abcdefgh"} <= names
+    assert {"ebs_gp3", "ebs_io2", "gcp_pd_balanced", "gcp_pd_ssd"} <= names
+
+
+def test_get_device_spec_lookup():
+    assert get_device_spec("hdd").name == "hdd"
+    with pytest.raises(KeyError):
+        get_device_spec("floppy")
+
+
+def test_enterprise_hits_paper_peak_iops():
+    # Fig 9 uses "an SSD with maximum read IOPS of 750K".
+    assert SSD_ENTERPRISE.peak_rand_read_iops == pytest.approx(750_000, rel=0.02)
+
+
+def test_lab_generations_ordered():
+    assert SSD_OLD.peak_rand_read_iops < SSD_NEW.peak_rand_read_iops
+    assert SSD_NEW.peak_rand_read_iops < SSD_ENTERPRISE.peak_rand_read_iops
+
+
+def test_fleet_anchors_match_paper_description():
+    # H: high IOPS at low latency; G: low IOPS, relatively low latency;
+    # A: moderate IOPS with higher latency.
+    fleet = {name: spec for name, spec in DEVICE_CATALOG.items() if name.startswith("fleet_")}
+    h, g, a = fleet["fleet_h"], fleet["fleet_g"], fleet["fleet_a"]
+    iops = {name: spec.peak_rand_read_iops for name, spec in fleet.items()}
+    latency = {name: spec.srv_rand_read for name, spec in fleet.items()}
+    assert iops["fleet_h"] == max(iops.values())
+    assert iops["fleet_g"] == min(iops.values())
+    assert latency["fleet_h"] == min(latency.values())
+    assert latency["fleet_a"] > latency["fleet_b"]
+    assert h.peak_rand_read_iops > 10 * g.peak_rand_read_iops
+    assert a.srv_rand_read > 2 * g.srv_rand_read
+
+
+def test_hdd_random_much_slower_than_sequential():
+    hdd = get_device_spec("hdd")
+    assert hdd.parallelism == 1
+    assert hdd.srv_rand_read > 100 * hdd.srv_seq_read
+
+
+def test_remote_volumes_have_caps_and_rtt():
+    for name in ("ebs_gp3", "ebs_io2", "gcp_pd_balanced", "gcp_pd_ssd"):
+        spec = get_device_spec(name)
+        assert spec.iops_limit > 0
+        assert spec.network_rtt > 0
+    assert get_device_spec("ebs_gp3").iops_limit == 3000
+    assert get_device_spec("ebs_io2").iops_limit == 64000

@@ -1,0 +1,87 @@
+"""Table 1 capability metadata checks for every mechanism."""
+
+import pytest
+
+from repro.controllers import CONTROLLER_CLASSES, TABLE1_CONTROLLERS
+from repro.controllers.base import Features
+
+
+def test_registry_contains_all_mechanisms():
+    assert set(CONTROLLER_CLASSES) == {
+        "none",
+        "kyber",
+        "mq-deadline",
+        "blk-throttle",
+        "bfq",
+        "iolatency",
+        "iocost",
+    }
+
+
+def test_table1_roster_matches_paper_rows():
+    names = [cls.name for cls in TABLE1_CONTROLLERS]
+    assert names == [
+        "kyber",
+        "mq-deadline",
+        "blk-throttle",
+        "bfq",
+        "iolatency",
+        "iocost",
+    ]
+
+
+# The paper's Table 1, row by row (✓ = yes, ✗ = no, ~ = partial).
+PAPER_TABLE1 = {
+    "kyber": ("yes", "yes", "no", "no", "no"),
+    "mq-deadline": ("yes", "yes", "no", "no", "no"),
+    "blk-throttle": ("partial", "no", "no", "no", "yes"),
+    "bfq": ("no", "yes", "no", "yes", "yes"),
+    "iolatency": ("yes", "partial", "yes", "no", "yes"),
+    "iocost": ("yes", "yes", "yes", "yes", "yes"),
+}
+
+
+@pytest.mark.parametrize("name,expected", PAPER_TABLE1.items())
+def test_feature_flags_match_paper(name, expected):
+    features = CONTROLLER_CLASSES[name].features
+    assert (
+        features.low_overhead,
+        features.work_conserving,
+        features.memory_management_aware,
+        features.proportional_fairness,
+        features.cgroup_control,
+    ) == expected
+
+
+def test_only_iocost_has_every_feature():
+    full = [
+        name
+        for name, cls in CONTROLLER_CLASSES.items()
+        if name != "none"
+        and all(
+            value == "yes"
+            for value in (
+                cls.features.low_overhead,
+                cls.features.work_conserving,
+                cls.features.memory_management_aware,
+                cls.features.proportional_fairness,
+                cls.features.cgroup_control,
+            )
+        )
+    ]
+    assert full == ["iocost"]
+
+
+def test_features_validate_values():
+    with pytest.raises(ValueError):
+        Features("yes", "yes", "yes", "yes", "maybe")
+
+
+def test_bfq_overhead_dominates():
+    overheads = {
+        name: cls.issue_overhead for name, cls in CONTROLLER_CLASSES.items()
+    }
+    assert overheads["bfq"] == max(overheads.values())
+    assert overheads["none"] == 0.0
+    # kyber is indistinguishable from none (Fig 9).
+    assert overheads["kyber"] < 0.1e-6

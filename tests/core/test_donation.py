@@ -1,0 +1,231 @@
+"""Tests for the §3.6 budget-donation weight-tree update.
+
+The centrepiece reproduces the paper's Figure 8 worked example: donors B
+and H free 0.25 hweight in total, which flows to E, F, G proportionally to
+their original hweights 0.16 : 0.04 : 0.35, i.e. gains of 0.07, 0.02, 0.16.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cgroup import CgroupTree
+from repro.core.donation import compute_donations
+from repro.core.hierarchy import WeightTree
+
+
+def build_active(weights):
+    cgroups = CgroupTree()
+    tree = WeightTree()
+    states = {}
+    for path, weight in weights.items():
+        group = cgroups.get_or_create(path, weight=weight)
+        group.weight = weight
+        states[path] = tree.state_of(group)
+    for state in states.values():
+        if not state.children:
+            tree.activate(state)
+    return tree, states
+
+
+def figure8_tree():
+    """A hierarchy realising the paper's Figure 8 hweights.
+
+    Root children B (h=0.25), G (h=0.35), D (h=0.40); D's children
+    E (h=0.16), F (h=0.04), H (h=0.20).  B and H donate down to 0.10 each,
+    freeing 0.25 total.
+    """
+    return build_active(
+        {
+            "B": 25,
+            "G": 35,
+            "D": 40,
+            "D/E": 16,
+            "D/F": 4,
+            "D/H": 20,
+        }
+    )
+
+
+class TestFigure8Example:
+    def setup_method(self):
+        self.tree, self.states = figure8_tree()
+        self.result = compute_donations(
+            self.tree,
+            {self.states["B"]: 0.10, self.states["D/H"]: 0.10},
+        )
+
+    def hw(self, path):
+        return self.tree.hweight(self.states[path])
+
+    def test_pre_donation_hweights(self):
+        tree, states = figure8_tree()
+        assert tree.hweight(states["B"]) == pytest.approx(0.25)
+        assert tree.hweight(states["G"]) == pytest.approx(0.35)
+        assert tree.hweight(states["D/E"]) == pytest.approx(0.16)
+        assert tree.hweight(states["D/F"]) == pytest.approx(0.04)
+        assert tree.hweight(states["D/H"]) == pytest.approx(0.20)
+
+    def test_donated_total(self):
+        assert self.result.donated_total == pytest.approx(0.25)
+
+    def test_donors_keep_their_targets(self):
+        assert self.hw("B") == pytest.approx(0.10)
+        assert self.hw("D/H") == pytest.approx(0.10)
+
+    def test_paper_gains_for_e_f_g(self):
+        # Paper: "resulting in a donation of 0.07, 0.02, and 0.16 to E, F,
+        # and G, respectively" (rounded; exact: 0.0727, 0.0182, 0.1591).
+        assert self.hw("D/E") == pytest.approx(0.16 + 0.0727, abs=2e-3)
+        assert self.hw("D/F") == pytest.approx(0.04 + 0.0182, abs=2e-3)
+        assert self.hw("G") == pytest.approx(0.35 + 0.1591, abs=2e-3)
+
+    def test_gains_proportional_to_original_hweights(self):
+        gain_e = self.hw("D/E") - 0.16
+        gain_f = self.hw("D/F") - 0.04
+        gain_g = self.hw("G") - 0.35
+        assert gain_e / gain_f == pytest.approx(0.16 / 0.04, rel=1e-6)
+        assert gain_g / gain_e == pytest.approx(0.35 / 0.16, rel=1e-6)
+
+    def test_total_hweight_conserved(self):
+        total = sum(self.hw(p) for p in ("B", "G", "D/E", "D/F", "D/H"))
+        assert total == pytest.approx(1.0)
+
+    def test_non_donor_weights_untouched(self):
+        # The efficiency claim: only nodes on donor paths get new weights.
+        assert self.states["G"].weight_eff == 35.0
+        assert self.states["D/E"].weight_eff == 16.0
+        assert self.states["D/F"].weight_eff == 4.0
+        assert "G" not in self.result.weight_after
+        assert "D/E" not in self.result.weight_after
+
+    def test_donor_path_weights_updated(self):
+        assert "B" in self.result.weight_after
+        assert "D" in self.result.weight_after
+        assert "D/H" in self.result.weight_after
+        # From the hand calculation: w'_B = 6.875, w'_D = 26.875.
+        assert self.states["B"].weight_eff == pytest.approx(6.875)
+        assert self.states["D"].weight_eff == pytest.approx(26.875)
+        assert self.states["D/H"].weight_eff == pytest.approx(6.875)
+
+    def test_donors_marked(self):
+        assert self.states["B"].donating
+        assert self.states["D/H"].donating
+        assert not self.states["G"].donating
+
+
+class TestEdgeCases:
+    def test_no_donors_is_noop(self):
+        tree, states = build_active({"a": 100, "b": 100})
+        result = compute_donations(tree, {})
+        assert result.donated_total == 0.0
+        assert tree.hweight(states["a"]) == pytest.approx(0.5)
+
+    def test_target_above_current_hweight_rejected(self):
+        tree, states = build_active({"a": 100, "b": 100})
+        with pytest.raises(ValueError):
+            compute_donations(tree, {states["a"]: 0.9})
+
+    def test_single_level_donation(self):
+        tree, states = build_active({"a": 100, "b": 100})
+        compute_donations(tree, {states["a"]: 0.1})
+        assert tree.hweight(states["a"]) == pytest.approx(0.1)
+        assert tree.hweight(states["b"]) == pytest.approx(0.9)
+
+    def test_all_leaves_donating(self):
+        tree, states = build_active({"a": 100, "b": 100})
+        compute_donations(tree, {states["a"]: 0.2, states["b"]: 0.3})
+        assert tree.hweight(states["a"]) == pytest.approx(0.2 / 0.5, rel=0.01)
+        assert tree.hweight(states["b"]) == pytest.approx(0.3 / 0.5, rel=0.01)
+
+    def test_donation_then_refresh_restores(self):
+        tree, states = build_active({"a": 100, "b": 100})
+        compute_donations(tree, {states["a"]: 0.1})
+        tree.refresh_base_weights()
+        assert tree.hweight(states["a"]) == pytest.approx(0.5)
+
+
+@st.composite
+def donation_scenarios(draw):
+    """Random two-level hierarchies with a random subset of donor leaves."""
+    top_count = draw(st.integers(min_value=2, max_value=4))
+    spec = {}
+    leaves = []
+    for index in range(top_count):
+        name = f"t{index}"
+        spec[name] = draw(st.integers(min_value=1, max_value=500))
+        has_children = draw(st.booleans())
+        if has_children:
+            child_count = draw(st.integers(min_value=1, max_value=3))
+            for c in range(child_count):
+                path = f"{name}/c{c}"
+                spec[path] = draw(st.integers(min_value=1, max_value=500))
+                leaves.append(path)
+        else:
+            leaves.append(name)
+    donor_flags = draw(
+        st.lists(st.booleans(), min_size=len(leaves), max_size=len(leaves))
+    )
+    keep_fracs = draw(
+        st.lists(
+            st.floats(min_value=0.01, max_value=0.9),
+            min_size=len(leaves),
+            max_size=len(leaves),
+        )
+    )
+    donors = {
+        leaf: frac
+        for leaf, flag, frac in zip(leaves, donor_flags, keep_fracs)
+        if flag
+    }
+    return spec, leaves, donors
+
+
+class TestDonationProperties:
+    @given(scenario=donation_scenarios())
+    @settings(max_examples=80, deadline=None)
+    def test_invariants(self, scenario):
+        spec, leaves, donors = scenario
+        if len(donors) == len(leaves):
+            donors = dict(list(donors.items())[:-1])  # keep one non-donor
+        tree, states = build_active(spec)
+        pre = {leaf: tree.hweight(states[leaf]) for leaf in leaves}
+        targets = {
+            states[leaf]: pre[leaf] * frac for leaf, frac in donors.items()
+        }
+        compute_donations(tree, targets)
+        post = {leaf: tree.hweight(states[leaf]) for leaf in leaves}
+
+        # Total active hweight is conserved.
+        assert sum(post.values()) == pytest.approx(1.0, abs=1e-6)
+        for leaf in leaves:
+            if leaf in donors:
+                # Donors land on their targets.
+                assert post[leaf] == pytest.approx(
+                    pre[leaf] * donors[leaf], rel=1e-4, abs=1e-9
+                )
+            else:
+                # Non-donors never lose budget.
+                assert post[leaf] >= pre[leaf] - 1e-9
+
+    @given(scenario=donation_scenarios())
+    @settings(max_examples=50, deadline=None)
+    def test_non_donor_gains_proportional(self, scenario):
+        spec, leaves, donors = scenario
+        if len(donors) == len(leaves):
+            donors = dict(list(donors.items())[:-1])
+        non_donors = [leaf for leaf in leaves if leaf not in donors]
+        if len(non_donors) < 2 or not donors:
+            return
+        tree, states = build_active(spec)
+        pre = {leaf: tree.hweight(states[leaf]) for leaf in leaves}
+        targets = {states[leaf]: pre[leaf] * frac for leaf, frac in donors.items()}
+        compute_donations(tree, targets)
+        gains = {
+            leaf: tree.hweight(states[leaf]) - pre[leaf] for leaf in non_donors
+        }
+        ratios = [
+            gains[leaf] / pre[leaf] for leaf in non_donors if pre[leaf] > 1e-9
+        ]
+        for ratio in ratios[1:]:
+            assert ratio == pytest.approx(ratios[0], rel=1e-3, abs=1e-6)

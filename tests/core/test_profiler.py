@@ -1,0 +1,98 @@
+"""Tests for offline device profiling."""
+
+import pytest
+
+from repro.block.device import DeviceSpec
+from repro.core.profiler import profile_device
+
+# A clean, noise-free device so measured parameters can be checked exactly.
+CLEAN_SPEC = DeviceSpec(
+    name="clean",
+    parallelism=8,
+    srv_rand_read=100e-6,
+    srv_seq_read=80e-6,
+    srv_rand_write=150e-6,
+    srv_seq_write=120e-6,
+    read_bw=1e9,
+    write_bw=0.8e9,
+    sigma=0.0,
+    nr_slots=128,
+)
+
+# Same device with a write buffer that degrades sustained writes.
+GC_SPEC = DeviceSpec(
+    name="gcdev",
+    parallelism=8,
+    srv_rand_read=100e-6,
+    srv_seq_read=80e-6,
+    srv_rand_write=20e-6,
+    srv_seq_write=20e-6,
+    read_bw=1e9,
+    write_bw=1.5e9,
+    sigma=0.0,
+    gc_buffer_bytes=16 * 1024 * 1024,
+    gc_drain_bps=200e6,
+    gc_write_slowdown=6.0,
+    nr_slots=128,
+)
+
+
+@pytest.fixture(scope="module")
+def clean_profile():
+    return profile_device(CLEAN_SPEC, read_duration=0.2, write_duration=0.4)
+
+
+class TestProfileAccuracy:
+    def test_random_read_iops(self, clean_profile):
+        assert clean_profile.rrandiops == pytest.approx(
+            CLEAN_SPEC.peak_rand_read_iops, rel=0.05
+        )
+
+    def test_sequential_read_iops(self, clean_profile):
+        assert clean_profile.rseqiops == pytest.approx(
+            CLEAN_SPEC.peak_seq_read_iops, rel=0.05
+        )
+
+    def test_read_bandwidth(self, clean_profile):
+        assert clean_profile.rbps == pytest.approx(CLEAN_SPEC.read_bw, rel=0.1)
+
+    def test_write_iops(self, clean_profile):
+        assert clean_profile.wrandiops == pytest.approx(
+            CLEAN_SPEC.peak_rand_write_iops, rel=0.05
+        )
+        assert clean_profile.wseqiops == pytest.approx(
+            CLEAN_SPEC.peak_seq_write_iops, rel=0.05
+        )
+
+    def test_write_bandwidth(self, clean_profile):
+        assert clean_profile.wbps == pytest.approx(CLEAN_SPEC.write_bw, rel=0.1)
+
+    def test_latency_observed(self, clean_profile):
+        # At saturation (depth 4x parallelism) waiting inflates latency to
+        # roughly depth/parallelism × service time.
+        assert clean_profile.read_lat_p50 >= CLEAN_SPEC.srv_rand_read
+
+
+class TestProfileOutputs:
+    def test_model_params_roundtrip(self, clean_profile):
+        params = clean_profile.to_model_params()
+        assert params.rrandiops == clean_profile.rrandiops
+        model = clean_profile.to_cost_model()
+        assert model.params is params or model.params.rbps == params.rbps
+
+    def test_config_line_format(self, clean_profile):
+        line = clean_profile.config_line()
+        for key in ("rbps=", "rseqiops=", "rrandiops=", "wbps=", "wseqiops=", "wrandiops="):
+            assert key in line
+
+
+class TestSustainedWrites:
+    def test_gc_profile_measures_sustained_not_burst(self):
+        profile = profile_device(GC_SPEC, read_duration=0.2, write_duration=2.0)
+        burst_iops = GC_SPEC.peak_rand_write_iops  # 400K on paper
+        # Sustained rate must reflect GC slowdown, well below burst.
+        assert profile.wrandiops < 0.6 * burst_iops
+        # Reads are unaffected by the write buffer.
+        assert profile.rrandiops == pytest.approx(
+            GC_SPEC.peak_rand_read_iops, rel=0.05
+        )

@@ -1,0 +1,55 @@
+"""Tests for §3.4 QoS parameter tuning (scaled-down sweeps)."""
+
+import pytest
+
+from repro.block.device import DeviceSpec
+from repro.core.qos import QoSParams
+from repro.core.qos_tuning import TuningResult, tune_qos
+
+MB = 1024 * 1024
+
+TUNE_SPEC = DeviceSpec(
+    name="tunedev",
+    parallelism=4,
+    srv_rand_read=100e-6,
+    srv_seq_read=100e-6,
+    srv_rand_write=100e-6,
+    srv_seq_write=100e-6,
+    read_bw=400e6,
+    write_bw=400e6,
+    sigma=0.1,
+    nr_slots=64,
+)
+
+
+@pytest.fixture(scope="module")
+def tuning():
+    return tune_qos(
+        TUNE_SPEC,
+        candidates=(0.25, 0.5, 1.0, 2.0),
+        duration=4.0,
+        total_mem=64 * MB,
+    )
+
+
+def test_sweep_covers_candidates(tuning):
+    assert set(tuning.solo_rps) == {0.25, 0.5, 1.0, 2.0}
+    assert set(tuning.protected_p95) == {0.25, 0.5, 1.0, 2.0}
+
+
+def test_solo_rps_grows_with_vrate(tuning):
+    # Paging-bound: more IO budget means more throughput (weakly).
+    assert tuning.solo_rps[1.0] >= tuning.solo_rps[0.25] * 0.9
+
+
+def test_bounds_are_ordered(tuning):
+    assert tuning.vrate_min <= tuning.vrate_max
+    assert tuning.vrate_min in tuning.candidates
+    assert tuning.vrate_max in tuning.candidates
+
+
+def test_to_qos_applies_bounds(tuning):
+    qos = tuning.to_qos(QoSParams(read_lat_target=1e-3))
+    assert qos.vrate_min == tuning.vrate_min
+    assert qos.vrate_max == tuning.vrate_max
+    assert qos.read_lat_target == 1e-3

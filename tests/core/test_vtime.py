@@ -1,0 +1,58 @@
+"""Tests for the global vtime clock."""
+
+import pytest
+
+from repro.core.vtime import VTimeClock
+from repro.sim import Simulator
+
+
+def test_vtime_tracks_wall_clock_at_unit_rate():
+    sim = Simulator()
+    clock = VTimeClock(sim)
+    sim.run(until=2.0)
+    assert clock.now() == pytest.approx(2.0)
+
+
+def test_vrate_scales_progression():
+    sim = Simulator()
+    clock = VTimeClock(sim, vrate=1.5)
+    sim.run(until=2.0)
+    assert clock.now() == pytest.approx(3.0)
+
+
+def test_set_vrate_preserves_history():
+    sim = Simulator()
+    clock = VTimeClock(sim, vrate=1.0)
+    sim.run(until=1.0)
+    clock.set_vrate(2.0)
+    assert clock.now() == pytest.approx(1.0)
+    sim.run(until=2.0)
+    assert clock.now() == pytest.approx(3.0)
+
+
+def test_multiple_rate_changes_compose():
+    sim = Simulator()
+    clock = VTimeClock(sim)
+    sim.run(until=1.0)      # +1.0 @ 1x
+    clock.set_vrate(0.5)
+    sim.run(until=3.0)      # +1.0 @ 0.5x
+    clock.set_vrate(4.0)
+    sim.run(until=3.5)      # +2.0 @ 4x
+    assert clock.now() == pytest.approx(4.0)
+
+
+def test_wall_delay_for_gap():
+    sim = Simulator()
+    clock = VTimeClock(sim, vrate=2.0)
+    assert clock.wall_delay_for(1.0) == pytest.approx(0.5)
+    assert clock.wall_delay_for(0.0) == 0.0
+    assert clock.wall_delay_for(-1.0) == 0.0
+
+
+def test_invalid_vrate_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        VTimeClock(sim, vrate=0.0)
+    clock = VTimeClock(sim)
+    with pytest.raises(ValueError):
+        clock.set_vrate(-1.0)

@@ -1,0 +1,97 @@
+"""Tests for the Testbed facade (and top-level package API)."""
+
+import pytest
+
+import repro
+from repro.block.device import DeviceSpec
+from repro.core.controller import IOCost
+from repro.core.qos import QoSParams
+from repro.testbed import Testbed, make_controller
+
+FIXED_QOS = QoSParams(
+    read_lat_target=None,
+    write_lat_target=None,
+    vrate_min=1.0,
+    vrate_max=1.0,
+    period=0.025,
+)
+
+FAST = DeviceSpec(
+    name="tbdev",
+    parallelism=4,
+    srv_rand_read=100e-6,
+    srv_seq_read=100e-6,
+    srv_rand_write=100e-6,
+    srv_seq_write=100e-6,
+    read_bw=1e9,
+    write_bw=1e9,
+    sigma=0.0,
+    nr_slots=64,
+)
+
+
+def test_package_exports():
+    assert repro.__version__
+    for name in ("IOCost", "Testbed", "QoSParams", "ModelParams", "profile_device"):
+        assert hasattr(repro, name)
+
+
+def test_device_by_catalogue_name():
+    tb = Testbed(device="hdd", controller="none")
+    assert tb.spec.name == "hdd"
+
+
+def test_unknown_controller_rejected():
+    with pytest.raises(ValueError):
+        make_controller("cfq", FAST)
+
+
+def test_quickstart_proportional_split():
+    tb = Testbed(device=FAST, controller="iocost", qos=FIXED_QOS)
+    high = tb.add_cgroup("workload.slice/high", weight=200)
+    low = tb.add_cgroup("workload.slice/low", weight=100)
+    tb.saturate(high, stop_at=0.5)
+    tb.saturate(low, stop_at=0.5)
+    tb.run(0.5)
+    assert tb.iops(high) / tb.iops(low) == pytest.approx(2.0, rel=0.1)
+    tb.detach()
+
+
+def test_run_windows_reset_measurement():
+    tb = Testbed(device=FAST, controller="none")
+    group = tb.add_cgroup("workload.slice/a")
+    tb.saturate(group, stop_at=0.2)
+    tb.run(0.2)
+    first = tb.iops(group)
+    tb.run(0.2)  # workload stopped: fresh window sees ~nothing
+    assert tb.iops(group) < first / 10
+
+
+def test_set_weight_routes_through_iocost():
+    tb = Testbed(device=FAST, controller="iocost", qos=FIXED_QOS)
+    assert isinstance(tb.controller, IOCost)
+    group = tb.add_cgroup("workload.slice/a", weight=100)
+    tb.set_weight(group, 300)
+    assert group.weight == 300
+
+
+def test_memory_manager_optional():
+    assert Testbed(device=FAST, controller="none").mm is None
+    tb = Testbed(device=FAST, controller="none", mem_bytes=1 << 28)
+    assert tb.mm is not None
+    assert tb.mm.total_bytes == 1 << 28
+
+
+def test_iops_without_run_raises():
+    tb = Testbed(device=FAST, controller="none")
+    group = tb.add_cgroup("workload.slice/a")
+    with pytest.raises(ValueError):
+        tb.iops(group)
+
+
+def test_latency_percentile_exposed():
+    tb = Testbed(device=FAST, controller="none")
+    group = tb.add_cgroup("workload.slice/a")
+    tb.saturate(group, stop_at=0.1)
+    tb.run(0.1)
+    assert tb.latency_percentile(group, 50) > 0

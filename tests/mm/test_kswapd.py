@@ -1,0 +1,95 @@
+"""Tests for background reclaim (kswapd)."""
+
+import numpy as np
+import pytest
+
+from repro.block.device import Device, DeviceSpec
+from repro.block.layer import BlockLayer
+from repro.cgroup import CgroupTree
+from repro.controllers.noop import NoopController
+from repro.mm.memory import MemoryManager
+from repro.sim import Simulator
+
+MB = 1024 * 1024
+
+SPEC = DeviceSpec(
+    name="kswapdev",
+    parallelism=4,
+    srv_rand_read=100e-6,
+    srv_seq_read=100e-6,
+    srv_rand_write=100e-6,
+    srv_seq_write=100e-6,
+    read_bw=500e6,
+    write_bw=500e6,
+    sigma=0.0,
+    nr_slots=64,
+)
+
+
+def make_env(total=128 * MB, kswapd=True):
+    sim = Simulator()
+    device = Device(sim, SPEC, np.random.default_rng(0))
+    layer = BlockLayer(sim, device, NoopController())
+    mm = MemoryManager(sim, layer, total_bytes=total, swap_bytes=16 * total, kswapd=kswapd)
+    tree = CgroupTree()
+    return sim, layer, mm, tree
+
+
+def run_op(sim, gen):
+    proc = sim.process(gen)
+    while not proc.done:
+        sim.step()
+    return proc
+
+
+def test_kswapd_wakes_below_low_watermark():
+    sim, layer, mm, tree = make_env()
+    group = tree.create("a")
+    # Fill to just above the low watermark boundary.
+    target = mm.total_bytes - mm.low_watermark + MB
+    run_op(sim, mm.alloc(group, target))
+    # kswapd kicked in and freed back towards the high watermark.
+    sim.run(until=sim.now + 5.0)
+    assert mm.kswapd_reclaimed_total > 0
+    assert mm.free_bytes >= mm.low_watermark
+
+
+def test_kswapd_disabled_leaves_direct_reclaim_only():
+    sim, layer, mm, tree = make_env(kswapd=False)
+    group = tree.create("a")
+    run_op(sim, mm.alloc(group, mm.total_bytes - mm.low_watermark + MB))
+    sim.run(until=sim.now + 5.0)
+    assert mm.kswapd_reclaimed_total == 0
+
+
+def test_kswapd_respects_protection():
+    sim, layer, mm, tree = make_env()
+    prot = tree.create("prot")
+    mm.protected["prot"] = 120 * MB
+    run_op(sim, mm.alloc(prot, 120 * MB))
+    other = tree.create("other")
+    run_op(sim, mm.alloc(other, 6 * MB))
+    sim.run(until=sim.now + 5.0)
+    assert mm.state_of(prot).swapped == 0
+
+
+def test_kswapd_keeps_allocations_from_blocking():
+    # With kswapd maintaining the watermark, small allocations proceed
+    # without waiting on reclaim IO most of the time.
+    sim, layer, mm, tree = make_env()
+    group = tree.create("a")
+    run_op(sim, mm.alloc(group, mm.total_bytes - mm.high_watermark))
+    sim.run(until=sim.now + 2.0)  # let kswapd settle at the watermark
+    start = sim.now
+    run_op(sim, mm.alloc(group, 1 * MB))
+    first_wait = sim.now - start
+    assert first_wait < 0.05  # no long direct-reclaim stall
+
+
+def test_kswapd_stops_when_swap_full():
+    sim, layer, mm, tree = make_env()
+    mm.swap_bytes = 4 * MB
+    group = tree.create("a")
+    run_op(sim, mm.alloc(group, mm.total_bytes - mm.low_watermark + MB))
+    sim.run(until=sim.now + 5.0)
+    assert mm.swapped_total <= mm.swap_bytes

@@ -1,0 +1,87 @@
+"""Unit and property tests for random streams and latency distributions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.distributions import LatencyDistribution, RandomStreams
+
+
+class TestRandomStreams:
+    def test_same_seed_same_stream_reproduces(self):
+        first = RandomStreams(seed=7).stream("dev").random(5)
+        second = RandomStreams(seed=7).stream("dev").random(5)
+        assert np.array_equal(first, second)
+
+    def test_different_names_are_independent(self):
+        streams = RandomStreams(seed=7)
+        a = streams.stream("a").random(5)
+        b = streams.stream("b").random(5)
+        assert not np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = RandomStreams(seed=1).stream("x").random(5)
+        b = RandomStreams(seed=2).stream("x").random(5)
+        assert not np.array_equal(a, b)
+
+    def test_stream_is_cached(self):
+        streams = RandomStreams(seed=0)
+        assert streams.stream("x") is streams.stream("x")
+
+    def test_adding_stream_does_not_perturb_existing(self):
+        plain = RandomStreams(seed=3)
+        first = plain.stream("main").random(3)
+
+        noisy = RandomStreams(seed=3)
+        noisy.stream("other").random(100)
+        second = noisy.stream("main").random(3)
+        assert np.array_equal(first, second)
+
+
+class TestLatencyDistribution:
+    def test_zero_sigma_is_constant(self):
+        dist = LatencyDistribution(median=1e-4, sigma=0.0)
+        rng = np.random.default_rng(0)
+        samples = [dist.sample(rng) for _ in range(10)]
+        assert all(s == 1e-4 for s in samples)
+
+    def test_median_is_roughly_respected(self):
+        dist = LatencyDistribution(median=100e-6, sigma=0.3)
+        rng = np.random.default_rng(0)
+        samples = sorted(dist.sample(rng) for _ in range(4001))
+        observed_median = samples[len(samples) // 2]
+        assert observed_median == pytest.approx(100e-6, rel=0.1)
+
+    def test_tail_inflates_high_percentiles(self):
+        base = LatencyDistribution(median=100e-6, sigma=0.2)
+        tailed = LatencyDistribution(median=100e-6, sigma=0.2, tail_prob=0.05, tail_scale=20.0)
+        rng_a = np.random.default_rng(1)
+        rng_b = np.random.default_rng(1)
+        base_p99 = np.percentile([base.sample(rng_a) for _ in range(4000)], 99)
+        tail_p99 = np.percentile([tailed.sample(rng_b) for _ in range(4000)], 99)
+        assert tail_p99 > 5 * base_p99
+
+    def test_nonpositive_median_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyDistribution(median=0.0)
+        with pytest.raises(ValueError):
+            LatencyDistribution(median=-1.0)
+
+    def test_scaled_scales_median_only(self):
+        dist = LatencyDistribution(median=1e-3, sigma=0.4, tail_prob=0.1, tail_scale=3.0)
+        scaled = dist.scaled(2.0)
+        assert scaled.median == 2e-3
+        assert scaled.sigma == dist.sigma
+        assert scaled.tail_prob == dist.tail_prob
+        assert scaled.tail_scale == dist.tail_scale
+
+    @given(
+        median=st.floats(min_value=1e-7, max_value=1.0),
+        sigma=st.floats(min_value=0.0, max_value=1.0),
+    )
+    @settings(max_examples=50)
+    def test_samples_always_positive(self, median, sigma):
+        dist = LatencyDistribution(median=median, sigma=sigma)
+        rng = np.random.default_rng(0)
+        assert dist.sample(rng) > 0

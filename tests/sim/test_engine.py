@@ -1,0 +1,278 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim import CancelledError, Signal, SimulationError, Simulator
+
+
+def test_clock_starts_at_zero():
+    sim = Simulator()
+    assert sim.now == 0.0
+
+
+def test_schedule_runs_in_time_order():
+    sim = Simulator()
+    seen = []
+    sim.schedule(2.0, lambda: seen.append("b"))
+    sim.schedule(1.0, lambda: seen.append("a"))
+    sim.schedule(3.0, lambda: seen.append("c"))
+    sim.run()
+    assert seen == ["a", "b", "c"]
+    assert sim.now == 3.0
+
+
+def test_ties_break_by_insertion_order():
+    sim = Simulator()
+    seen = []
+    for tag in ("first", "second", "third"):
+        sim.schedule(1.0, seen.append, tag)
+    sim.run()
+    assert seen == ["first", "second", "third"]
+
+
+def test_schedule_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.schedule(-0.1, lambda: None)
+
+
+def test_schedule_at_absolute_time():
+    sim = Simulator()
+    hits = []
+    sim.schedule_at(5.0, lambda: hits.append(sim.now))
+    sim.run()
+    assert hits == [5.0]
+
+
+def test_cancelled_event_does_not_run():
+    sim = Simulator()
+    hits = []
+    event = sim.schedule(1.0, lambda: hits.append(1))
+    event.cancel()
+    sim.run()
+    assert hits == []
+
+
+def test_run_until_advances_clock_without_events():
+    sim = Simulator()
+    sim.run(until=10.0)
+    assert sim.now == 10.0
+
+
+def test_run_until_does_not_run_later_events():
+    sim = Simulator()
+    hits = []
+    sim.schedule(5.0, lambda: hits.append("early"))
+    sim.schedule(15.0, lambda: hits.append("late"))
+    sim.run(until=10.0)
+    assert hits == ["early"]
+    assert sim.now == 10.0
+    sim.run(until=20.0)
+    assert hits == ["early", "late"]
+
+
+def test_run_backwards_rejected():
+    sim = Simulator()
+    sim.run(until=5.0)
+    with pytest.raises(SimulationError):
+        sim.run(until=1.0)
+
+
+def test_step_returns_false_when_empty():
+    sim = Simulator()
+    assert sim.step() is False
+
+
+def test_peek_skips_cancelled():
+    sim = Simulator()
+    event = sim.schedule(1.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    event.cancel()
+    assert sim.peek() == 2.0
+
+
+def test_events_scheduled_during_run_execute():
+    sim = Simulator()
+    hits = []
+
+    def chain():
+        hits.append(sim.now)
+        if len(hits) < 3:
+            sim.schedule(1.0, chain)
+
+    sim.schedule(0.0, chain)
+    sim.run()
+    assert hits == [0.0, 1.0, 2.0]
+
+
+class TestSignal:
+    def test_fire_resumes_waiters_with_value(self):
+        sim = Simulator()
+        sig = sim.signal()
+        got = []
+        sig.wait(got.append)
+        sig.fire(42)
+        assert got == [42]
+
+    def test_wait_after_fire_resumes_immediately(self):
+        sim = Simulator()
+        sig = sim.signal()
+        sig.fire("x")
+        got = []
+        sig.wait(got.append)
+        assert got == ["x"]
+
+    def test_double_fire_rejected(self):
+        sim = Simulator()
+        sig = sim.signal()
+        sig.fire()
+        with pytest.raises(SimulationError):
+            sig.fire()
+
+    def test_multiple_waiters_in_order(self):
+        sim = Simulator()
+        sig = sim.signal()
+        got = []
+        sig.wait(lambda v: got.append(("a", v)))
+        sig.wait(lambda v: got.append(("b", v)))
+        sig.fire(1)
+        assert got == [("a", 1), ("b", 1)]
+
+
+class TestProcess:
+    def test_yield_delay_sleeps(self):
+        sim = Simulator()
+        trace = []
+
+        def worker():
+            trace.append(sim.now)
+            yield 1.5
+            trace.append(sim.now)
+
+        sim.process(worker())
+        sim.run()
+        assert trace == [0.0, 1.5]
+
+    def test_return_value_captured(self):
+        sim = Simulator()
+
+        def worker():
+            yield 1.0
+            return "done"
+
+        proc = sim.process(worker())
+        sim.run()
+        assert proc.done
+        assert proc.result == "done"
+
+    def test_yield_signal_receives_value(self):
+        sim = Simulator()
+        sig = sim.signal()
+        got = []
+
+        def worker():
+            value = yield sig
+            got.append(value)
+
+        sim.process(worker())
+        sim.schedule(2.0, sig.fire, "payload")
+        sim.run()
+        assert got == ["payload"]
+        assert sim.now == 2.0
+
+    def test_yield_process_waits_for_completion(self):
+        sim = Simulator()
+
+        def child():
+            yield 3.0
+            return 7
+
+        def parent():
+            result = yield sim.process(child())
+            return result * 2
+
+        proc = sim.process(parent())
+        sim.run()
+        assert proc.result == 14
+
+    def test_cancel_interrupts_sleep(self):
+        sim = Simulator()
+        trace = []
+
+        def worker():
+            try:
+                yield 100.0
+            except CancelledError:
+                trace.append(("cancelled", sim.now))
+
+        proc = sim.process(worker())
+        sim.schedule(1.0, proc.cancel)
+        sim.run()
+        assert trace == [("cancelled", 1.0)]
+        assert proc.done
+
+    def test_cancel_is_idempotent(self):
+        sim = Simulator()
+
+        def worker():
+            yield 100.0
+
+        proc = sim.process(worker())
+        sim.schedule(1.0, proc.cancel)
+        sim.schedule(1.0, proc.cancel)
+        sim.run()
+        assert proc.done
+
+    def test_cancel_after_done_is_noop(self):
+        sim = Simulator()
+
+        def worker():
+            yield 1.0
+
+        proc = sim.process(worker())
+        sim.run()
+        proc.cancel()
+        assert proc.done
+
+    def test_bad_yield_raises(self):
+        sim = Simulator()
+
+        def worker():
+            yield "nonsense"
+
+        sim.process(worker())
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_negative_delay_raises(self):
+        sim = Simulator()
+
+        def worker():
+            yield -1.0
+
+        sim.process(worker())
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_many_processes_interleave_deterministically(self):
+        sim = Simulator()
+        trace = []
+
+        def worker(tag, period):
+            for _ in range(3):
+                yield period
+                trace.append((tag, sim.now))
+
+        sim.process(worker("a", 1.0))
+        sim.process(worker("b", 1.5))
+        sim.run()
+        # At t=3.0 both wake; b's event was inserted earlier (scheduled at
+        # t=1.5 vs a's at t=2.0), so insertion order puts b first.
+        assert trace == [
+            ("a", 1.0),
+            ("b", 1.5),
+            ("a", 2.0),
+            ("b", 3.0),
+            ("a", 3.0),
+            ("b", 4.5),
+        ]

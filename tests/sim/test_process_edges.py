@@ -1,0 +1,117 @@
+"""Edge-case tests for the process framework."""
+
+import pytest
+
+from repro.sim import CancelledError, SimulationError, Simulator
+
+
+class TestProcessEdgeCases:
+    def test_process_with_immediate_return(self):
+        sim = Simulator()
+
+        def instant():
+            return "done"
+            yield  # pragma: no cover - makes this a generator
+
+        proc = sim.process(instant())
+        sim.run()
+        assert proc.done
+        assert proc.result == "done"
+
+    def test_nested_process_chain(self):
+        sim = Simulator()
+
+        def leaf():
+            yield 1.0
+            return 1
+
+        def middle():
+            value = yield sim.process(leaf())
+            yield 1.0
+            return value + 1
+
+        def top():
+            value = yield sim.process(middle())
+            return value + 1
+
+        proc = sim.process(top())
+        sim.run()
+        assert proc.result == 3
+        assert sim.now == 2.0
+
+    def test_cancel_while_waiting_on_signal(self):
+        sim = Simulator()
+        sig = sim.signal()
+        caught = []
+
+        def waiter():
+            try:
+                yield sig
+            except CancelledError:
+                caught.append(sim.now)
+
+        proc = sim.process(waiter())
+        sim.schedule(1.0, proc.cancel)
+        sim.run()
+        assert caught == [1.0]
+        # Firing the signal later must not resurrect the dead process.
+        sig.fire("late")
+        assert proc.done
+
+    def test_exception_in_process_propagates(self):
+        sim = Simulator()
+
+        def broken():
+            yield 1.0
+            raise RuntimeError("boom")
+
+        sim.process(broken())
+        with pytest.raises(RuntimeError, match="boom"):
+            sim.run()
+
+    def test_many_waiters_on_one_signal(self):
+        sim = Simulator()
+        sig = sim.signal()
+        results = []
+
+        def waiter(tag):
+            value = yield sig
+            results.append((tag, value))
+
+        for tag in range(5):
+            sim.process(waiter(tag))
+        sim.schedule(1.0, sig.fire, 42)
+        sim.run()
+        assert results == [(tag, 42) for tag in range(5)]
+
+    def test_process_waiting_on_finished_process(self):
+        sim = Simulator()
+
+        def quick():
+            yield 0.5
+            return "early"
+
+        quick_proc = sim.process(quick())
+
+        def late_joiner():
+            yield 2.0  # quick has long finished
+            value = yield quick_proc
+            return value
+
+        proc = sim.process(late_joiner())
+        sim.run()
+        assert proc.result == "early"
+        assert sim.now == 2.0
+
+    def test_zero_delay_yield_runs_same_timestamp(self):
+        sim = Simulator()
+        stamps = []
+
+        def hopper():
+            for _ in range(3):
+                yield 0.0
+                stamps.append(sim.now)
+
+        sim.process(hopper())
+        sim.run()
+        assert stamps == [0.0, 0.0, 0.0]

@@ -1,0 +1,59 @@
+"""Shared fixtures for workload tests."""
+
+import numpy as np
+import pytest
+
+from repro.block.device import Device, DeviceSpec
+from repro.block.layer import BlockLayer
+from repro.cgroup import CgroupTree, make_meta_hierarchy
+from repro.controllers.noop import NoopController
+from repro.core.controller import IOCost
+from repro.core.cost_model import LinearCostModel, ModelParams
+from repro.core.qos import QoSParams
+from repro.mm.memory import MemoryManager
+from repro.sim import Simulator
+
+MB = 1024 * 1024
+
+WL_SPEC = DeviceSpec(
+    name="wl",
+    parallelism=4,
+    srv_rand_read=100e-6,
+    srv_seq_read=100e-6,
+    srv_rand_write=100e-6,
+    srv_seq_write=100e-6,
+    read_bw=500e6,
+    write_bw=500e6,
+    sigma=0.0,
+    nr_slots=64,
+)
+
+
+def make_noop_env(spec=WL_SPEC, seed=0):
+    sim = Simulator()
+    device = Device(sim, spec, np.random.default_rng(seed))
+    layer = BlockLayer(sim, device, NoopController())
+    tree = CgroupTree()
+    return sim, layer, tree
+
+
+def make_iocost_env(spec=WL_SPEC, seed=0, total_mem=128 * MB, **iocost_kwargs):
+    sim = Simulator()
+    device = Device(sim, spec, np.random.default_rng(seed))
+    qos = iocost_kwargs.pop(
+        "qos",
+        QoSParams(
+            read_lat_target=None,
+            write_lat_target=None,
+            vrate_min=1.0,
+            vrate_max=1.0,
+            period=0.025,
+        ),
+    )
+    controller = IOCost(
+        LinearCostModel(ModelParams.from_device_spec(spec)), qos=qos, **iocost_kwargs
+    )
+    layer = BlockLayer(sim, device, controller)
+    tree = make_meta_hierarchy()
+    mm = MemoryManager(sim, layer, total_bytes=total_mem, swap_bytes=32 * total_mem)
+    return sim, layer, controller, tree, mm

@@ -1,0 +1,89 @@
+"""Tests for the fleet-migration model."""
+
+import pytest
+
+from repro.block.device import DeviceSpec
+from repro.controllers.iolatency import IOLatencyController
+from repro.core.controller import IOCost
+from repro.core.cost_model import LinearCostModel, ModelParams
+from repro.core.qos import QoSParams
+from repro.workloads.fleet import (
+    CONTAINER_CLEANUP,
+    PACKAGE_FETCH,
+    FleetMigration,
+    WeeklyReport,
+    run_task_once,
+)
+
+FLEET_SPEC = DeviceSpec(
+    name="fleetdev",
+    parallelism=4,
+    srv_rand_read=100e-6,
+    srv_seq_read=100e-6,
+    srv_rand_write=100e-6,
+    srv_seq_write=100e-6,
+    read_bw=500e6,
+    write_bw=500e6,
+    sigma=0.1,
+    nr_slots=64,
+)
+
+
+def iocost_factory():
+    return IOCost(
+        LinearCostModel(ModelParams.from_device_spec(FLEET_SPEC)),
+        qos=QoSParams(read_lat_target=5e-3, read_pct=90, period=0.05),
+    )
+
+
+def iolatency_factory():
+    # Tuned the way production was: protect the main workload's latency
+    # aggressively; system/hostcritical slices are unprotected and get
+    # their queue depth crushed whenever the workload misses its target.
+    return IOLatencyController({"workload.slice/main": 0.5e-3})
+
+
+class TestRunTaskOnce:
+    def test_task_completes_under_iocost(self):
+        duration = run_task_once(
+            FLEET_SPEC, iocost_factory, CONTAINER_CLEANUP, workload_depth=32, seed=1
+        )
+        assert 0 < duration < CONTAINER_CLEANUP.deadline
+
+    def test_iolatency_starves_system_task(self):
+        ours = run_task_once(
+            FLEET_SPEC, iocost_factory, CONTAINER_CLEANUP, workload_depth=32, seed=1
+        )
+        theirs = run_task_once(
+            FLEET_SPEC, iolatency_factory, CONTAINER_CLEANUP, workload_depth=32, seed=1
+        )
+        assert theirs > 2 * ours
+
+    def test_package_fetch_runs(self):
+        duration = run_task_once(
+            FLEET_SPEC, iocost_factory, PACKAGE_FETCH, workload_depth=16, seed=2
+        )
+        assert duration > 0
+
+
+class TestFleetMigration:
+    def test_failures_fall_with_migration(self):
+        # Old stack durations straddle the deadline; new stack is fast.
+        old = [3.0, 6.0, 8.0, 4.5, 7.0, 5.5]
+        new = [0.5, 0.8, 1.2, 0.6, 0.9, 0.7]
+        sim = FleetMigration(old, new, deadline=5.0, machines=500, seed=3)
+        reports = sim.run([0.0, 0.25, 0.5, 0.75, 1.0])
+        assert len(reports) == 5
+        assert reports[0].failures > 0
+        assert reports[-1].failures < reports[0].failures / 3
+        rates = [report.failure_rate for report in reports]
+        # Failure rate should be (weakly) monotone decreasing.
+        assert all(b <= a * 1.2 for a, b in zip(rates, rates[1:]))
+
+    def test_empty_distributions_rejected(self):
+        with pytest.raises(ValueError):
+            FleetMigration([], [1.0], deadline=1.0)
+
+    def test_weekly_report_rate(self):
+        report = WeeklyReport(week=0, migrated_fraction=0.0, attempts=100, failures=7)
+        assert report.failure_rate == pytest.approx(0.07)

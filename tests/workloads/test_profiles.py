@@ -1,0 +1,67 @@
+"""Tests for the Figure 4 workload profiles."""
+
+import pytest
+
+from repro.workloads.profiles import MixedWorkload, WORKLOAD_PROFILES
+
+from tests.workloads.conftest import make_noop_env
+
+
+def test_profiles_present():
+    assert {"web_a", "web_b", "serverless", "cache_a", "cache_b"} <= set(WORKLOAD_PROFILES)
+
+
+def test_paper_shape_anchors():
+    # Caches are sequential-heavy; non-storage services do little IO.
+    web = WORKLOAD_PROFILES["web_a"]
+    cache = WORKLOAD_PROFILES["cache_a"]
+    nonstorage = WORKLOAD_PROFILES["nonstorage_a"]
+    assert cache.seq_bps > 5 * cache.rand_bps
+    assert 0.4 <= web.random_fraction <= 0.6  # "mixed about equally"
+    assert nonstorage.read_bps + nonstorage.write_bps < 0.1 * (
+        web.read_bps + web.write_bps
+    )
+
+
+def test_mixed_workload_hits_profile_rates():
+    sim, layer, tree = make_noop_env()
+    group = tree.create("web")
+    profile = WORKLOAD_PROFILES["web_a"]
+    workload = MixedWorkload(sim, layer, group, profile, stop_at=2.0).start()
+    sim.run(until=2.2)
+    total_bps = workload.bytes_done / 2.0
+    expected = profile.read_bps + profile.write_bps
+    assert total_bps == pytest.approx(expected, rel=0.1)
+
+
+def test_mixed_workload_class_split():
+    sim, layer, tree = make_noop_env()
+    group = tree.create("cache")
+    profile = WORKLOAD_PROFILES["cache_a"]
+    workload = MixedWorkload(sim, layer, group, profile, stop_at=2.0).start()
+    sim.run(until=2.2)
+    seq_bytes = sum(
+        count for (is_w, seq), count in workload.bytes_by_class.items() if seq
+    )
+    rand_bytes = sum(
+        count for (is_w, seq), count in workload.bytes_by_class.items() if not seq
+    )
+    observed_rand_frac = rand_bytes / (seq_bytes + rand_bytes)
+    assert observed_rand_frac == pytest.approx(profile.random_fraction, abs=0.05)
+
+
+def test_read_write_split():
+    sim, layer, tree = make_noop_env()
+    group = tree.create("web")
+    profile = WORKLOAD_PROFILES["web_b"]
+    workload = MixedWorkload(sim, layer, group, profile, stop_at=2.0).start()
+    sim.run(until=2.2)
+    read_bytes = sum(
+        count for (is_w, _), count in workload.bytes_by_class.items() if not is_w
+    )
+    write_bytes = sum(
+        count for (is_w, _), count in workload.bytes_by_class.items() if is_w
+    )
+    assert read_bytes / write_bytes == pytest.approx(
+        profile.read_bps / profile.write_bps, rel=0.15
+    )

@@ -1,0 +1,122 @@
+"""Tests for the ZooKeeper ensemble workload."""
+
+import pytest
+
+from repro.block.device import DeviceSpec
+from repro.controllers.noop import NoopController
+from repro.sim import Simulator
+from repro.workloads.zookeeper import Machine, ZooKeeperEnsemble
+
+ZK_SPEC = DeviceSpec(
+    name="zk",
+    parallelism=4,
+    srv_rand_read=100e-6,
+    srv_seq_read=100e-6,
+    srv_rand_write=100e-6,
+    srv_seq_write=100e-6,
+    read_bw=500e6,
+    write_bw=500e6,
+    sigma=0.0,
+    nr_slots=64,
+)
+
+
+def make_cluster(n_machines=5, seed=0):
+    sim = Simulator()
+    machines = [
+        Machine(sim, ZK_SPEC, NoopController, name=f"m{i}", seed=seed + i)
+        for i in range(n_machines)
+    ]
+    return sim, machines
+
+
+def test_reads_and_writes_complete():
+    sim, machines = make_cluster()
+    ensemble = ZooKeeperEnsemble(
+        sim, machines, "ens0", read_rps=200, write_rps=20,
+        payload=100 * 1024, stop_at=2.0, seed=1,
+    ).start()
+    sim.run(until=2.5)
+    reads = [op for op in ensemble.ops if not op.is_write]
+    writes = [op for op in ensemble.ops if op.is_write]
+    assert len(reads) == pytest.approx(400, rel=0.2)
+    assert len(writes) == pytest.approx(40, rel=0.3)
+
+
+def test_write_commits_at_quorum_not_all():
+    # With one artificially slow machine, quorum (3/5) commits must not
+    # wait for the straggler.
+    sim, machines = make_cluster()
+    slow_spec = DeviceSpec(
+        name="slowzk",
+        parallelism=1,
+        srv_rand_read=50e-3,
+        srv_seq_read=50e-3,
+        srv_rand_write=50e-3,
+        srv_seq_write=50e-3,
+        read_bw=10e6,
+        write_bw=10e6,
+        sigma=0.0,
+        nr_slots=64,
+    )
+    machines[4] = Machine(sim, slow_spec, NoopController, name="slow", seed=99)
+    ensemble = ZooKeeperEnsemble(
+        sim, machines, "ens0", read_rps=0, write_rps=50,
+        payload=100 * 1024, stop_at=1.0, seed=1,
+    ).start()
+    sim.run(until=1.5)
+    writes = [op for op in ensemble.ops if op.is_write]
+    assert writes
+    p50 = sorted(op.latency for op in writes)[len(writes) // 2]
+    assert p50 < 10e-3  # far below the straggler's 50ms service time
+
+
+def test_snapshot_triggers_on_txn_count():
+    sim, machines = make_cluster()
+    ensemble = ZooKeeperEnsemble(
+        sim, machines, "ens0", read_rps=0, write_rps=100,
+        payload=10 * 1024, snapshot_every=50,
+        snapshot_bytes=4 * 1024 * 1024, stop_at=2.0, seed=1,
+    ).start()
+    sim.run(until=2.5)
+    assert ensemble.snapshots_taken >= 3
+    assert ensemble.txn_count > 150
+
+
+def test_participants_on_distinct_machines():
+    sim, machines = make_cluster()
+    ensemble = ZooKeeperEnsemble(
+        sim, machines, "ens0", read_rps=10, write_rps=5,
+        payload=1024, stop_at=0.5, seed=1,
+    )
+    paths = {id(cg) for cg in ensemble.cgroups}
+    assert len(paths) == 5  # one cgroup per machine
+
+
+def test_slo_violation_detection():
+    sim, machines = make_cluster()
+    ensemble = ZooKeeperEnsemble(
+        sim, machines, "ens0", read_rps=100, write_rps=10,
+        payload=10 * 1024, stop_at=5.0, seed=1,
+    ).start()
+    sim.run(until=5.5)
+    # Uncontended: no violations of a 1s SLO.
+    assert ensemble.slo_violations(slo=1.0) == []
+    # Absurdly tight SLO: everything violates.
+    tight = ensemble.slo_violations(slo=1e-9)
+    assert tight
+    total_duration = sum(duration for _, duration, _ in tight)
+    assert total_duration > 0
+
+
+def test_stop_halts_arrivals():
+    sim, machines = make_cluster()
+    ensemble = ZooKeeperEnsemble(
+        sim, machines, "ens0", read_rps=100, write_rps=10,
+        payload=1024, stop_at=None, seed=1,
+    ).start()
+    sim.run(until=0.5)
+    ensemble.stop()
+    count = len(ensemble.ops)
+    sim.run(until=1.0)
+    assert len(ensemble.ops) <= count + 20  # only in-flight stragglers
