@@ -19,23 +19,18 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Deque, Iterable, List, Optional, Sequence, Tuple
 
+from repro.obs.metrics import exact_percentile
+
 
 def percentile(samples: Sequence[float], pct: float) -> float:
     """Nearest-rank percentile of ``samples`` (``pct`` in [0, 100]).
 
-    Raises ``ValueError`` on an empty sample set — callers that can observe
-    empty windows must handle that case explicitly rather than silently
-    reading a default.
+    Compatibility shim: the implementation lives in
+    :func:`repro.obs.metrics.exact_percentile` (alongside the streaming
+    histogram it serves as ground truth for).  Behaviour is unchanged —
+    ``ValueError`` on an empty sample set or out-of-range ``pct``.
     """
-    if not samples:
-        raise ValueError("percentile of empty sample set")
-    if not 0.0 <= pct <= 100.0:
-        raise ValueError(f"percentile {pct} out of range")
-    ordered = sorted(samples)
-    if pct == 0.0:
-        return ordered[0]
-    rank = max(1, int(-(-pct * len(ordered) // 100)))  # ceil without floats
-    return ordered[rank - 1]
+    return exact_percentile(samples, pct)
 
 
 class LatencyWindow:

@@ -54,6 +54,7 @@ class Bio:
         "sector",
         "cgroup",
         "flags",
+        "prio",
         "submit_time",
         "issue_time",
         "complete_time",
@@ -70,6 +71,7 @@ class Bio:
         sector: int,
         cgroup: "Cgroup",
         flags: BioFlags = BioFlags.NONE,
+        prio: Optional[int] = None,
     ) -> None:
         if nbytes <= 0:
             raise ValueError("bio size must be positive")
@@ -81,6 +83,10 @@ class Bio:
         self.sector = sector
         self.cgroup = cgroup
         self.flags = flags
+        # ioprio class (0 none / 1 RT / 2 BE / 3 idle), None when the
+        # submitter set no scheduling class.  Carried through traces so
+        # replays preserve it.
+        self.prio = prio
         self.submit_time: Optional[float] = None
         self.issue_time: Optional[float] = None
         self.complete_time: Optional[float] = None

@@ -33,6 +33,7 @@ from typing import Callable, Deque, List, Optional
 import numpy as np
 
 from repro.block.bio import Bio
+from repro.obs.trace import TRACE
 from repro.sim import Simulator
 
 
@@ -142,6 +143,8 @@ class Device:
         self.completed_ios = 0
         self.completed_bytes = 0
         self.gc_slow_ios = 0
+        # Cached tracepoint (single flag check when tracing is disabled).
+        self._tp_complete = TRACE.points["bio_complete"]
 
     # -- public interface ---------------------------------------------------
 
@@ -275,3 +278,18 @@ class Device:
             self._begin(nxt)
         if self.on_complete is not None:
             self.on_complete(bio)
+        # Emitted after the block layer's completion hook so the bio's
+        # complete_time / latency properties are populated.
+        if self._tp_complete.enabled and bio.complete_time is not None:
+            self._tp_complete.emit(
+                self.sim.now,
+                cgroup=bio.cgroup.path,
+                op=bio.op.value,
+                nbytes=bio.nbytes,
+                sector=bio.sector,
+                flags=bio.flags.value,
+                prio=bio.prio,
+                submit_time=bio.submit_time,
+                latency=bio.latency,
+                device_latency=bio.device_latency,
+            )

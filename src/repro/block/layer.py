@@ -21,6 +21,7 @@ from repro.analysis.stats import LatencyWindow
 from repro.block.bio import Bio
 from repro.block.device import Device
 from repro.cgroup import Cgroup
+from repro.obs.trace import TRACE
 from repro.sim import Signal, Simulator
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -56,6 +57,11 @@ class BlockLayer:
         # CPU-time resource for the controller issue path (Fig 9 model).
         self._cpu_free_at = 0.0
 
+        # Cached tracepoints: one flag check per hot-path site when tracing
+        # is disabled (see repro.obs.trace).
+        self._tp_submit = TRACE.points["bio_submit"]
+        self._tp_issue = TRACE.points["bio_issue"]
+
         # Statistics.
         self.submitted_ios = 0
         self.completed_ios = 0
@@ -73,6 +79,16 @@ class BlockLayer:
         self._detect_sequential(bio)
         bio.cgroup.stats.account(bio.is_write, bio.nbytes)
         self.submitted_ios += 1
+        if self._tp_submit.enabled:
+            self._tp_submit.emit(
+                self.sim.now,
+                cgroup=bio.cgroup.path,
+                op=bio.op.value,
+                nbytes=bio.nbytes,
+                sector=bio.sector,
+                flags=bio.flags.value,
+                prio=bio.prio,
+            )
         if not self.can_dispatch():
             self.depleted_events += 1
         self.controller.enqueue(bio)
@@ -112,6 +128,14 @@ class BlockLayer:
 
     def _issue(self, bio: Bio) -> None:
         bio.issue_time = self.sim.now
+        if self._tp_issue.enabled:
+            self._tp_issue.emit(
+                self.sim.now,
+                cgroup=bio.cgroup.path,
+                op=bio.op.value,
+                nbytes=bio.nbytes,
+                wait=bio.issue_time - bio.submit_time,
+            )
         self.device.submit(bio)
 
     # -- completion ------------------------------------------------------------
@@ -124,6 +148,8 @@ class BlockLayer:
         path = bio.cgroup.path
         self.completed_by_cgroup[path] = self.completed_by_cgroup.get(path, 0) + 1
         self.bytes_by_cgroup[path] = self.bytes_by_cgroup.get(path, 0) + bio.nbytes
+        # io.stat wait accounting: wall time the bio spent above the device.
+        bio.cgroup.stats.wait_total += bio.issue_time - bio.submit_time
 
         latency = bio.device_latency
         if bio.is_write:

@@ -37,6 +37,9 @@ class TraceRecord:
     sector: int
     flags: int            # BioFlags bitmask
     latency: float
+    #: ioprio class (0 none / 1 RT / 2 BE / 3 idle).  Default None keeps
+    #: traces saved before this field existed loadable.
+    prio: Optional[int] = None
 
     def to_json(self) -> str:
         return json.dumps(asdict(self), separators=(",", ":"))
@@ -77,6 +80,7 @@ class TraceRecorder:
                     sector=bio.sector,
                     flags=bio.flags.value,
                     latency=bio.latency,
+                    prio=bio.prio,
                 )
             )
 
@@ -137,6 +141,7 @@ class TraceReplayer:
             record.sector,
             group,
             flags=BioFlags(record.flags),
+            prio=record.prio,
         )
         self.submitted += 1
         self.layer.submit(bio).wait(self._done)

@@ -24,12 +24,23 @@ class CgroupError(ValueError):
 
 @dataclass
 class IOStats:
-    """Cumulative per-cgroup IO accounting (the ``io.stat`` analogue)."""
+    """Cumulative per-cgroup IO accounting (the ``io.stat`` analogue).
+
+    ``rbytes``/``wbytes``/``rios``/``wios`` count at submission, as the
+    kernel does (``blk_cgroup_bio_start``).  ``dbytes``/``dios`` exist for
+    io.stat format parity (the simulation issues no discards).
+    ``wait_total`` accumulates, at completion, the wall seconds each bio
+    spent above the device (throttling + issue-path CPU) — the source of
+    the io.stat ``wait_usec`` key.
+    """
 
     rbytes: int = 0
     wbytes: int = 0
     rios: int = 0
     wios: int = 0
+    dbytes: int = 0
+    dios: int = 0
+    wait_total: float = 0.0
 
     def account(self, is_write: bool, nbytes: int) -> None:
         if is_write:
@@ -124,6 +135,14 @@ class CgroupTree:
     def __init__(self) -> None:
         self.root = Cgroup("", None)
         self._index: Dict[str, Cgroup] = {"": self.root}
+        # Observers notified just before a cgroup is removed; the io.stat
+        # collector uses this to fold the dying group's counters into its
+        # parent (kernel rstat flush-on-release semantics).
+        self._remove_hooks: List[Any] = []
+
+    def add_remove_hook(self, hook: Any) -> None:
+        """Register ``hook(cgroup)`` to run before each removal."""
+        self._remove_hooks.append(hook)
 
     def create(self, path: str, weight: int = DEFAULT_WEIGHT) -> Cgroup:
         """Create a cgroup at ``path``, creating intermediate groups as needed.
@@ -168,6 +187,8 @@ class CgroupTree:
         if node.children:
             raise CgroupError(f"cgroup {path!r} still has children")
         assert node.parent is not None
+        for hook in self._remove_hooks:
+            hook(node)
         del node.parent.children[node.name]
         del self._index[path]
 

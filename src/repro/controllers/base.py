@@ -22,11 +22,14 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, ClassVar
+from typing import TYPE_CHECKING, ClassVar, Dict
+
+from repro.obs.trace import TRACE
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.block.bio import Bio
     from repro.block.layer import BlockLayer
+    from repro.cgroup import Cgroup
 
 
 @dataclass(frozen=True)
@@ -58,10 +61,43 @@ class IOController(abc.ABC):
 
     def __init__(self) -> None:
         self.layer: "BlockLayer" = None  # type: ignore[assignment]
+        # Shared observability state: every mechanism counts held-back bios
+        # the same way, so cross-controller comparisons read one counter.
+        self.throttled_ios = 0
+        self.throttled_by_cgroup: Dict[str, int] = {}
+        self._tp_throttle = TRACE.points["bio_throttle"]
 
     def attach(self, layer: "BlockLayer") -> None:
         """Bind to a block layer.  Called once, before any IO."""
         self.layer = layer
+
+    def note_throttle(self, bio: "Bio", reason: str) -> None:
+        """Record that ``bio`` was held back (budget, tokens, depth, ...).
+
+        Bumps the shared throttle counters and emits the ``bio_throttle``
+        tracepoint.  Subclasses call this wherever their policy first makes
+        a bio wait.
+        """
+        self.throttled_ios += 1
+        path = bio.cgroup.path
+        self.throttled_by_cgroup[path] = self.throttled_by_cgroup.get(path, 0) + 1
+        if self._tp_throttle.enabled:
+            self._tp_throttle.emit(
+                self.layer.sim.now,
+                cgroup=path,
+                op=bio.op.value,
+                nbytes=bio.nbytes,
+                reason=reason,
+                controller=self.name,
+            )
+
+    def cost_stat(self, cgroup: "Cgroup") -> Dict[str, float]:
+        """Controller-specific io.stat keys for one cgroup.
+
+        The base implementation contributes the shared throttle counter;
+        IOCost overrides this to add its ``cost.*`` surface.
+        """
+        return {"throttled": self.throttled_by_cgroup.get(cgroup.path, 0)}
 
     @abc.abstractmethod
     def enqueue(self, bio: "Bio") -> None:

@@ -122,6 +122,7 @@ class BlkThrottleController(IOController):
                 buckets = group.buckets_for(bio)
                 waits = [bucket.wait_time(now, amount) for bucket, amount in buckets]
                 if any(wait > 0 for wait in waits):
+                    self.note_throttle(bio, "tokens")
                     self._arm_wake(group, max(waits))
                     break
                 for bucket, amount in buckets:

@@ -88,7 +88,10 @@ class IOLatencyController(IOController):
         return group
 
     def enqueue(self, bio: Bio) -> None:
-        self._group(bio).queue.append(bio)
+        group = self._group(bio)
+        if group.inflight >= group.depth:
+            self.note_throttle(bio, "depth")
+        group.queue.append(bio)
 
     def pump(self) -> None:
         layer = self.layer

@@ -30,6 +30,7 @@ from repro.core.donation import compute_donations
 from repro.core.hierarchy import GroupState, WeightTree
 from repro.core.qos import QoSParams, VRateController
 from repro.core.vtime import VTimeClock
+from repro.obs.trace import TRACE
 
 #: Bios carrying these flags bypass budget under the debt protocol.
 URGENT_FLAGS = BioFlags.SWAP | BioFlags.JOURNAL
@@ -92,6 +93,10 @@ class IOCost(IOController):
         self.debt_charged = 0.0
         self.rescinds = 0
         self.donation_passes = 0
+        # Cached tracepoints (single flag check each when tracing is off).
+        self._tp_debt = TRACE.points["debt_pay"]
+        self._tp_vrate = TRACE.points["vrate_adjust"]
+        self._tp_period = TRACE.points["qos_period"]
 
     # -- lifecycle ------------------------------------------------------------
 
@@ -137,7 +142,16 @@ class IOCost(IOController):
         state = self.tree.lookup(cgroup.path)
         if state is None:
             return 0.0
-        return self.debt.userspace_delay(state)
+        delay = self.debt.userspace_delay(state)
+        if delay > 0 and self._tp_debt.enabled:
+            self._tp_debt.emit(
+                self.layer.sim.now,
+                cgroup=cgroup.path,
+                kind="userspace_delay",
+                amount=delay,
+                debt=self.debt.debt_walltime(state),
+            )
+        return delay
 
     # -- issue path ------------------------------------------------------------
 
@@ -163,6 +177,14 @@ class IOCost(IOController):
                         max(group.local_vtime, self.clock.now()) + relative
                     )
                     self.debt_charged += bio.abs_cost
+                    if self._tp_debt.enabled:
+                        self._tp_debt.emit(
+                            self.layer.sim.now,
+                            cgroup=group.cgroup.path,
+                            kind="charge",
+                            amount=bio.abs_cost,
+                            debt=self.debt.debt_walltime(group),
+                        )
                 group.abs_usage += bio.abs_cost
             else:  # SwapChargeMode.ROOT: free IO, charged to nobody.
                 root = self.tree.root
@@ -234,6 +256,7 @@ class IOCost(IOController):
                     self.rescinds += 1
                     continue
                 self._budget_blocked_events += 1
+                self.note_throttle(bio, "budget")
                 self._arm_wake(group, need - budget)
                 break
 
@@ -261,16 +284,46 @@ class IOCost(IOController):
         self._deactivate_idle()
         if self.donation_enabled:
             self._recompute_donations()
-        self.vrate_ctl.adjust(
+        prev_saturations = self.vrate_ctl.saturation_events
+        prev_starvations = self.vrate_ctl.starvation_events
+        vrate = self.vrate_ctl.adjust(
             sim.now,
             self._read_window,
             self._write_window,
             self.layer.slot_utilization,
             budget_starved=self._budget_blocked_events > 0,
         )
+        if self._tp_vrate.enabled:
+            self._tp_vrate.emit(
+                sim.now,
+                vrate=vrate,
+                busy_level=self.vrate_ctl.busy_level,
+                saturated=self.vrate_ctl.saturation_events > prev_saturations,
+                starved=self.vrate_ctl.starvation_events > prev_starvations,
+                read_p=self._read_window.percentile(sim.now, self.qos.read_pct),
+                write_p=self._write_window.percentile(sim.now, self.qos.write_pct),
+            )
+        # Fold the per-period counters into the lifetime statistics before
+        # the in-place reset; the io.stat surface reads the totals.
+        now_v = self.clock.now()
+        active_groups = 0
         for state in self.tree.states():
+            if state.active:
+                active_groups += 1
+            state.usage_total += state.abs_usage
+            state.ios_total += state.period_ios
+            if state.local_vtime > now_v:
+                state.indebt_total += self.qos.period
             state.abs_usage = 0.0
             state.period_ios = 0
+        if self._tp_period.enabled:
+            self._tp_period.emit(
+                sim.now,
+                period=self.qos.period,
+                vrate=vrate,
+                active_groups=active_groups,
+                budget_blocked=self._budget_blocked_events,
+            )
         self._budget_blocked_events = 0
         self.pump()
         self._plan_timer = sim.schedule(self.qos.period, self._plan)
@@ -300,7 +353,7 @@ class IOCost(IOController):
                 )
                 targets[leaf] = keep
         if targets:
-            compute_donations(self.tree, targets)
+            compute_donations(self.tree, targets, now=self.layer.sim.now)
             self.donation_passes += 1
 
     # -- introspection ------------------------------------------------------------
@@ -308,6 +361,40 @@ class IOCost(IOController):
     @property
     def vrate(self) -> float:
         return self.clock.vrate
+
+    def cost_stat(self, cgroup: Cgroup) -> dict:
+        """Kernel iocost io.stat keys for one cgroup.
+
+        Surfaces the lifetime statistics the planning path accumulates
+        before its per-period reset (they used to dead-end there):
+
+        * ``cost.vrate`` — current global vrate (same for every cgroup);
+        * ``cost.usage`` — lifetime absolute cost issued (device seconds);
+        * ``cost.ios`` — lifetime IOs seen by the issue path;
+        * ``cost.wait`` — wall seconds the cgroup's bios waited above the
+          device (from the block layer's completion accounting);
+        * ``cost.indebt`` — wall seconds observed in §3.5 debt;
+        * ``cost.indelay`` — wall seconds of userspace-boundary delay.
+        """
+        stat = super().cost_stat(cgroup)
+        stat["cost.vrate"] = self.clock.vrate if self.clock is not None else 1.0
+        state = self.tree.lookup(cgroup.path)
+        if state is None:
+            stat.update({
+                "cost.usage": 0.0, "cost.ios": 0, "cost.wait": 0.0,
+                "cost.indebt": 0.0, "cost.indelay": 0.0,
+            })
+            return stat
+        stat.update({
+            # Include the running period's partial usage so the surface is
+            # monotone between planning ticks.
+            "cost.usage": state.usage_total + state.abs_usage,
+            "cost.ios": state.ios_total + state.period_ios,
+            "cost.wait": cgroup.stats.wait_total,
+            "cost.indebt": state.indebt_total,
+            "cost.indelay": state.indelay_total,
+        })
+        return stat
 
     def stat(self, cgroup: Cgroup) -> dict:
         """Kernel ``io.cost.stat``-style snapshot for one cgroup.

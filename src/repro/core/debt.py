@@ -88,4 +88,5 @@ class DebtTracker:
         delay = min(self.config.max_delay, owed * self.config.delay_fraction)
         self.userspace_blocks += 1
         self.total_blocked_time += delay
+        group.indelay_total += delay  # io.stat cost.indelay
         return delay

@@ -34,9 +34,12 @@ property that makes donation cheap on large hierarchies.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.core.hierarchy import GroupState, WeightTree
+from repro.obs.trace import TRACE
+
+_TP_DONATION = TRACE.points["donation_recalc"]
 
 #: Effective weights are clamped here to avoid degenerate zero shares.
 MIN_EFFECTIVE_WEIGHT = 1e-6
@@ -55,7 +58,7 @@ class DonationResult:
 
 
 def compute_donations(
-    tree: WeightTree, targets: Dict[GroupState, float]
+    tree: WeightTree, targets: Dict[GroupState, float], now: Optional[float] = None
 ) -> DonationResult:
     """Apply budget donation for the given donors.
 
@@ -63,6 +66,9 @@ def compute_donations(
     (their ``d'``).  Effective weights must be at base values (call
     :meth:`WeightTree.refresh_base_weights` first).  Mutates the tree's
     effective weights along donor paths and bumps the generation.
+
+    ``now`` (simulated seconds) timestamps the ``donation_recalc``
+    tracepoint; omitting it stamps 0.0.
     """
     result = DonationResult()
     if not targets:
@@ -138,4 +144,10 @@ def compute_donations(
             frontier.append(child)
 
     tree.bump()
+    if _TP_DONATION.enabled:
+        _TP_DONATION.emit(
+            now if now is not None else 0.0,
+            donors=[leaf.cgroup.path for leaf in targets],
+            donated_total=result.donated_total,
+        )
     return result

@@ -45,6 +45,13 @@ class GroupState:
         # Planning-path accounting (reset each period).
         self.abs_usage = 0.0
         self.period_ios = 0
+        # Lifetime accounting: the per-period values are folded in here by
+        # the planning path before the in-place reset, and surfaced through
+        # the io.stat ``cost.*`` keys (repro.obs.iostat).
+        self.usage_total = 0.0
+        self.ios_total = 0
+        self.indebt_total = 0.0   # wall seconds observed in debt
+        self.indelay_total = 0.0  # wall seconds of userspace-boundary delay
         # Debt in relative-vtime seconds beyond global vtime (see debt.py).
         # Hweight cache.
         self._hw_gen = -1

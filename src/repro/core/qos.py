@@ -59,6 +59,9 @@ class VRateController:
     #: Hardest single-period cut when saturated.
     MAX_CUT = 0.7
 
+    #: Bounds for the diagnostic busy level (kernel iocost keeps ±16 too).
+    BUSY_LEVEL_LIMIT = 16
+
     def __init__(self, clock: VTimeClock, qos: QoSParams) -> None:
         self.clock = clock
         self.qos = qos
@@ -66,6 +69,11 @@ class VRateController:
         self.read_lat_series = TimeSeries("read_latency")
         self.saturation_events = 0
         self.starvation_events = 0
+        # Diagnostic only (the kernel's ``busy_level``, what iocost_monitor
+        # prints as ``busy=+N``): consecutive saturated periods push it up,
+        # starved periods push it down, quiet periods decay it toward 0.
+        # It feeds no control decision here.
+        self.busy_level = 0
 
     # -- signal extraction ---------------------------------------------------
 
@@ -106,6 +114,7 @@ class VRateController:
         excess = max(read_excess or 0.0, write_excess or 0.0)
         if excess > 0 or depleted:
             self.saturation_events += 1
+            self.busy_level = min(self.busy_level + 1, self.BUSY_LEVEL_LIMIT)
             if excess > 0:
                 # Cut proportionally to how far over target we are, bounded.
                 cut = max(self.MAX_CUT, min(0.95, 1.0 / excess ** 0.5))
@@ -114,7 +123,12 @@ class VRateController:
             vrate *= cut
         elif budget_starved:
             self.starvation_events += 1
+            self.busy_level = max(self.busy_level - 1, -self.BUSY_LEVEL_LIMIT)
             vrate *= self.RAISE_FACTOR
+        elif self.busy_level > 0:
+            self.busy_level -= 1
+        elif self.busy_level < 0:
+            self.busy_level += 1
 
         vrate = min(max(vrate, qos.vrate_min), qos.vrate_max)
         if vrate != self.clock.vrate:

@@ -41,6 +41,7 @@ from typing import Callable, Dict, Generator, List, Optional
 from repro.block.bio import Bio, BioFlags, IOOp
 from repro.block.layer import BlockLayer
 from repro.cgroup import Cgroup
+from repro.obs.trace import TRACE
 from repro.sim import Simulator
 
 PAGE = 4096
@@ -128,6 +129,8 @@ class MemoryManager:
         self.high_watermark = int(total_bytes * 0.08)
         self._kswapd_running = False
         self.kswapd_reclaimed_total = 0
+        self._tp_reclaim = TRACE.points["reclaim_scan"]
+        self._tp_swap_out = TRACE.points["swap_out"]
 
     # -- accounting -----------------------------------------------------------
 
@@ -279,6 +282,14 @@ class MemoryManager:
                 chunk = min(need, victim_state.resident - floor, 64 * SWAP_OUT_CLUSTER)
                 if chunk <= 0:
                     return
+                if self._tp_reclaim.enabled:
+                    self._tp_reclaim.emit(
+                        self.sim.now,
+                        requester="kswapd",
+                        victim=victim_path,
+                        nbytes=chunk,
+                        free_bytes=self.free_bytes,
+                    )
                 yield from self._swap_out(self._cgroups[victim_path], chunk)
                 self.kswapd_reclaimed_total += chunk
         finally:
@@ -306,6 +317,14 @@ class MemoryManager:
             victim_cg = self._cgroups[victim_path]
             floor = self.protected.get(victim_path, 0)
             chunk = min(need, victim_state.resident - floor, 4 * SWAP_OUT_CLUSTER)
+            if self._tp_reclaim.enabled:
+                self._tp_reclaim.emit(
+                    self.sim.now,
+                    requester=requester.path,
+                    victim=victim_path,
+                    nbytes=chunk,
+                    free_bytes=self.free_bytes,
+                )
             yield from self._swap_out(victim_cg, chunk)
 
     def _swap_attribution(self, owner: Cgroup) -> Cgroup:
@@ -331,6 +350,10 @@ class MemoryManager:
         if nbytes <= 0:
             return
         charge_to = self._swap_attribution(owner)
+        if self._tp_swap_out.enabled:
+            self._tp_swap_out.emit(
+                self.sim.now, owner=owner.path, charged_to=charge_to.path, nbytes=nbytes
+            )
         remaining = nbytes
         signals = []
         while remaining > 0:

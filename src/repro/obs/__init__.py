@@ -1,0 +1,47 @@
+"""Observability: tracepoints, metrics, io.stat, and overhead profiling.
+
+The real IOCost is debugged in production through three surfaces this
+package reproduces for the simulated stack:
+
+* :mod:`repro.obs.trace` — a kernel-style tracepoint registry.  Emitting
+  sites are compiled into the hot paths but cost a single flag check while
+  no subscriber is attached; a bounded ring buffer collects typed events
+  and round-trips them through JSONL (``bio_complete`` events convert to
+  :class:`repro.block.trace.TraceRecord` for replay).
+* :mod:`repro.obs.metrics` — counters, gauges, and log-bucketed HDR-style
+  latency histograms; also home of the exact nearest-rank percentile that
+  :mod:`repro.analysis.stats` now delegates to.
+* :mod:`repro.obs.iostat` — the cgroup2 ``io.stat`` surface: per-cgroup
+  rbytes/wbytes/rios/wios/dbytes plus iocost's ``cost.*`` keys, aggregated
+  hierarchically and surviving cgroup removal.
+* :mod:`repro.obs.snapshot` — the per-period monitor snapshot format
+  shared by the live monitor (:mod:`repro.tools.monitor`) and its CLI.
+* :mod:`repro.obs.overhead` — wall-clock profiling of simulator runs, so
+  Figure 9-style experiments can quantify the cost of tracing itself.
+"""
+
+from repro.obs.iostat import IOStat
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricRegistry, exact_percentile
+from repro.obs.overhead import OverheadReport, disabled_check_cost, wall_time
+from repro.obs.snapshot import MonitorSnapshot, load_snapshots, render_snapshot
+from repro.obs.trace import TRACE, TraceBuffer, TraceEvent, TracePoint, TraceRegistry
+
+__all__ = [
+    "TRACE",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "IOStat",
+    "MetricRegistry",
+    "MonitorSnapshot",
+    "OverheadReport",
+    "TraceBuffer",
+    "TraceEvent",
+    "TracePoint",
+    "TraceRegistry",
+    "disabled_check_cost",
+    "exact_percentile",
+    "load_snapshots",
+    "render_snapshot",
+    "wall_time",
+]

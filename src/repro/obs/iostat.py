@@ -1,0 +1,112 @@
+"""The cgroup2 ``io.stat`` surface, aggregated hierarchically.
+
+Kernel semantics reproduced here:
+
+* every cgroup reports cumulative ``rbytes``/``wbytes``/``rios``/``wios``/
+  ``dbytes``/``dios`` for itself **plus all descendants** (cgroup2 stats are
+  recursive);
+* removing a cgroup folds its counters into the parent — history is never
+  lost (the kernel's ``cgroup_rstat`` flush-on-release behaviour);
+* controllers annotate the same surface with their own keys — IOCost adds
+  ``cost.vrate``, ``cost.usage``, ``cost.wait``, ``cost.indebt``,
+  ``cost.indelay`` (see :meth:`repro.core.controller.IOCost.cost_stat`).
+
+Usage::
+
+    iostat = IOStat(tree, controller=testbed.controller)
+    snap = iostat.snapshot()
+    snap["workload.slice"]["rbytes"]          # includes all children
+    snap["workload.slice/app"]["cost.usage"]  # iocost lifetime usage
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Optional
+
+from repro.cgroup import Cgroup, CgroupTree
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.controllers.base import IOController
+
+#: The flat per-cgroup counters that aggregate up the hierarchy.
+FLAT_KEYS = ("rbytes", "wbytes", "rios", "wios", "dbytes", "dios", "wait_usec")
+
+
+def _flat(cgroup: Cgroup) -> Dict[str, float]:
+    stats = cgroup.stats
+    return {
+        "rbytes": stats.rbytes,
+        "wbytes": stats.wbytes,
+        "rios": stats.rios,
+        "wios": stats.wios,
+        "dbytes": stats.dbytes,
+        "dios": stats.dios,
+        "wait_usec": stats.wait_total * 1e6,
+    }
+
+
+def _add(into: Dict[str, float], other: Dict[str, float]) -> None:
+    for key in FLAT_KEYS:
+        into[key] += other[key]
+
+
+class IOStat:
+    """Per-cgroup io.stat collector over one :class:`CgroupTree`.
+
+    Registers a removal hook on the tree so counters of deleted cgroups
+    keep contributing to their ancestors, matching kernel semantics.
+    """
+
+    def __init__(self, tree: CgroupTree, controller: Optional["IOController"] = None):
+        self.tree = tree
+        self.controller = controller
+        #: Counters inherited from removed children, keyed by the surviving
+        #: parent path.
+        self._dead: Dict[str, Dict[str, float]] = {}
+        tree.add_remove_hook(self._on_remove)
+
+    # -- removal folding -----------------------------------------------------
+
+    def _on_remove(self, cgroup: Cgroup) -> None:
+        assert cgroup.parent is not None  # the root cannot be removed
+        folded = _flat(cgroup)
+        # The removed group may itself hold stats inherited from its own
+        # removed children; carry those along too.
+        own_dead = self._dead.pop(cgroup.path, None)
+        if own_dead is not None:
+            _add(folded, own_dead)
+        parent_acc = self._dead.get(cgroup.parent.path)
+        if parent_acc is None:
+            self._dead[cgroup.parent.path] = folded
+        else:
+            _add(parent_acc, folded)
+
+    # -- snapshots ------------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Dict[str, float]]:
+        """Recursive io.stat for every live cgroup, keyed by path.
+
+        Each entry holds the hierarchically-summed flat counters plus any
+        controller-specific ``cost.*`` keys for that cgroup.
+        """
+        result: Dict[str, Dict[str, float]] = {}
+
+        def visit(cgroup: Cgroup) -> Dict[str, float]:
+            agg = _flat(cgroup)
+            dead = self._dead.get(cgroup.path)
+            if dead is not None:
+                _add(agg, dead)
+            for child in cgroup.children.values():
+                _add(agg, visit(child))
+            entry = dict(agg)
+            if self.controller is not None:
+                entry.update(self.controller.cost_stat(cgroup))
+            result[cgroup.path] = entry
+            return agg
+
+        visit(self.tree.root)
+        return result
+
+    def of(self, path: str) -> Dict[str, float]:
+        """One cgroup's recursive io.stat entry."""
+        return self.snapshot()[path]

@@ -1,0 +1,197 @@
+"""Metrics primitives: counters, gauges, log-bucketed latency histograms.
+
+The kernel side of IOCost reports through monotonically-increasing counters
+(``io.stat``), instantaneous gauges (vrate, hweight) and latency percentile
+windows.  This module provides those shapes for the simulation, plus the
+exact nearest-rank percentile that :mod:`repro.analysis.stats` re-exports
+for backwards compatibility.
+
+:class:`Histogram` is HDR-style: samples land in logarithmically-spaced
+buckets (default ~2% relative width), so memory stays bounded regardless of
+sample count while ``p50/p95/p99`` queries stay within one bucket width of
+exact and ``max``/``min``/``count``/``sum`` are tracked exactly.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+
+def exact_percentile(samples: Sequence[float], pct: float) -> float:
+    """Nearest-rank percentile of ``samples`` (``pct`` in [0, 100]).
+
+    Raises ``ValueError`` on an empty sample set — callers that can observe
+    empty windows must handle that case explicitly rather than silently
+    reading a default.
+    """
+    if not samples:
+        raise ValueError("percentile of empty sample set")
+    if not 0.0 <= pct <= 100.0:
+        raise ValueError(f"percentile {pct} out of range")
+    ordered = sorted(samples)
+    if pct == 0.0:
+        return ordered[0]
+    rank = max(1, int(-(-pct * len(ordered) // 100)))  # ceil without floats
+    return ordered[rank - 1]
+
+
+class Counter:
+    """Monotonically-increasing event/amount counter."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only increase")
+        self.value += amount
+
+
+class Gauge:
+    """Last-write-wins instantaneous value."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str = "", value: float = 0.0):
+        self.name = name
+        self.value = value
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+
+class Histogram:
+    """Log-bucketed histogram with exact count/sum/min/max.
+
+    ``resolution`` is the relative bucket width (0.02 -> every reported
+    percentile is within 2% of the exact sample).  Non-positive samples are
+    counted in a dedicated zero bucket so latency-0 edge cases don't blow up
+    the log.
+    """
+
+    __slots__ = ("name", "resolution", "_log_base", "_buckets", "_zero",
+                 "count", "sum", "min", "max")
+
+    def __init__(self, name: str = "", resolution: float = 0.02):
+        if not 0 < resolution < 1:
+            raise ValueError("resolution must be in (0, 1)")
+        self.name = name
+        self.resolution = resolution
+        self._log_base = math.log1p(resolution)
+        self._buckets: Dict[int, int] = {}
+        self._zero = 0
+        self.count = 0
+        self.sum = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def record(self, value: float) -> None:
+        self.count += 1
+        self.sum += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        if value <= 0:
+            self._zero += 1
+            return
+        index = int(math.ceil(math.log(value) / self._log_base))
+        self._buckets[index] = self._buckets.get(index, 0) + 1
+
+    def record_many(self, values: Iterable[float]) -> None:
+        for value in values:
+            self.record(value)
+
+    @property
+    def mean(self) -> float:
+        if self.count == 0:
+            raise ValueError("mean of empty histogram")
+        return self.sum / self.count
+
+    def percentile(self, pct: float) -> float:
+        """Nearest-rank percentile, exact to within one bucket width."""
+        if self.count == 0:
+            raise ValueError("percentile of empty histogram")
+        if not 0.0 <= pct <= 100.0:
+            raise ValueError(f"percentile {pct} out of range")
+        rank = max(1, int(-(-pct * self.count // 100)))
+        if pct == 100.0 or rank >= self.count:
+            return self.max
+        seen = self._zero
+        if rank <= seen:
+            return max(0.0, self.min)
+        for index in sorted(self._buckets):
+            seen += self._buckets[index]
+            if seen >= rank:
+                # Bucket upper edge, clamped to the exact observed extremes.
+                value = math.exp(index * self._log_base)
+                return min(max(value, self.min), self.max)
+        return self.max
+
+    @property
+    def p50(self) -> float:
+        return self.percentile(50)
+
+    @property
+    def p95(self) -> float:
+        return self.percentile(95)
+
+    @property
+    def p99(self) -> float:
+        return self.percentile(99)
+
+    def summary(self) -> Dict[str, float]:
+        """The io.stat-friendly flat view: count/mean/p50/p95/p99/max."""
+        if self.count == 0:
+            return {"count": 0, "mean": 0.0, "p50": 0.0, "p95": 0.0,
+                    "p99": 0.0, "max": 0.0}
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "p50": self.p50,
+            "p95": self.p95,
+            "p99": self.p99,
+            "max": self.max,
+        }
+
+
+class MetricRegistry:
+    """Named metric store, one per subsystem or experiment."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        metric = self._counters.get(name)
+        if metric is None:
+            metric = self._counters[name] = Counter(name)
+        return metric
+
+    def gauge(self, name: str) -> Gauge:
+        metric = self._gauges.get(name)
+        if metric is None:
+            metric = self._gauges[name] = Gauge(name)
+        return metric
+
+    def histogram(self, name: str, resolution: float = 0.02) -> Histogram:
+        metric = self._histograms.get(name)
+        if metric is None:
+            metric = self._histograms[name] = Histogram(name, resolution)
+        return metric
+
+    def as_dict(self) -> Dict[str, object]:
+        """Flatten everything into a JSON-serialisable snapshot."""
+        out: Dict[str, object] = {}
+        for name, counter in self._counters.items():
+            out[name] = counter.value
+        for name, gauge in self._gauges.items():
+            out[name] = gauge.value
+        for name, histogram in self._histograms.items():
+            out[name] = histogram.summary()
+        return out

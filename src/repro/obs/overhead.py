@@ -1,0 +1,127 @@
+"""Wall-clock overhead profiling for simulator runs.
+
+Figure 9's question — "what does the control mechanism cost on the hot
+path?" — applies to the tracing layer itself: instrumented call sites pay a
+flag check per tracepoint even while tracing is disabled.  This module
+measures that cost so ``benchmarks/test_obs_overhead.py`` can assert it
+stays negligible and record the trajectory across PRs:
+
+* :func:`wall_time` — best-of-N wall-clock timing of a callable (the whole
+  simulated run, driven by :class:`~repro.sim.Simulator`).
+* :func:`disabled_check_cost` — measured per-call cost of the disabled
+  ``if point.enabled:`` guard, the exact code shape every emitting site
+  uses.
+* :class:`OverheadReport` — the derived numbers: events/sec, checks per
+  event, and the disabled-tracing overhead fraction.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.obs.trace import TRACE, TracePoint, TraceRegistry
+
+
+def wall_time(fn: Callable[[], object], repeat: int = 3) -> float:
+    """Minimum wall-clock seconds over ``repeat`` invocations of ``fn``.
+
+    Minimum (not mean) is the standard microbenchmark reduction: scheduler
+    noise only ever adds time.
+    """
+    if repeat < 1:
+        raise ValueError("repeat must be >= 1")
+    best = float("inf")
+    for _ in range(repeat):
+        start = time.perf_counter()
+        fn()
+        elapsed = time.perf_counter() - start
+        if elapsed < best:
+            best = elapsed
+    return best
+
+
+def disabled_check_cost(iterations: int = 200_000) -> float:
+    """Per-call wall-clock cost (seconds) of a disabled tracepoint guard.
+
+    Times ``if point.enabled: point.emit(...)`` with no subscribers —
+    byte-for-byte the pattern at every instrumented call site — against an
+    empty loop, and returns the difference per iteration (floored at 0).
+    """
+    point = TracePoint("bench", ("value",))
+
+    start = time.perf_counter()
+    for _ in range(iterations):
+        if point.enabled:
+            point.emit(0.0, value=1)
+    guarded = time.perf_counter() - start
+
+    start = time.perf_counter()
+    for _ in range(iterations):
+        pass
+    empty = time.perf_counter() - start
+
+    return max(0.0, (guarded - empty) / iterations)
+
+
+def count_emissions(
+    fn: Callable[[], object], registry: Optional[TraceRegistry] = None
+) -> int:
+    """Run ``fn`` once with every tracepoint enabled, counting emissions.
+
+    The emission count of an enabled run equals the guard-check count of
+    the same (deterministic) run with tracing disabled, which is what the
+    overhead model needs.
+    """
+    registry = TRACE if registry is None else registry
+    counter = {"n": 0}
+
+    def count(_event) -> None:
+        counter["n"] += 1
+
+    subscription = registry.subscribe(count)
+    try:
+        fn()
+    finally:
+        subscription.close()
+    return counter["n"]
+
+
+@dataclass(frozen=True)
+class OverheadReport:
+    """Derived overhead numbers for one instrumented run."""
+
+    wall_seconds: float
+    events_processed: int
+    trace_checks: int
+    check_cost: float
+
+    @property
+    def events_per_second(self) -> float:
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.events_processed / self.wall_seconds
+
+    @property
+    def checks_per_event(self) -> float:
+        if self.events_processed == 0:
+            return 0.0
+        return self.trace_checks / self.events_processed
+
+    @property
+    def overhead_fraction(self) -> float:
+        """Fraction of the run spent on disabled-tracepoint flag checks."""
+        if self.wall_seconds <= 0:
+            return 0.0
+        return (self.trace_checks * self.check_cost) / self.wall_seconds
+
+    def describe(self) -> str:
+        return (
+            f"wall={self.wall_seconds * 1e3:.1f}ms "
+            f"events={self.events_processed} "
+            f"({self.events_per_second:,.0f}/s) "
+            f"checks={self.trace_checks} "
+            f"check_cost={self.check_cost * 1e9:.1f}ns "
+            f"overhead={self.overhead_fraction * 100:.3f}%"
+        )

@@ -1,0 +1,96 @@
+"""Monitor snapshot format: what ``iocost_monitor.py`` prints, as data.
+
+The real ``iocost_monitor`` (a drgn script shipped with the kernel) walks
+live kernel memory each period and prints device state (vrate%, busy level)
+plus one row per active cgroup (hweight, usage, debt, delay).  The
+simulation equivalent is a :class:`MonitorSnapshot` captured per planning
+period by :class:`repro.tools.monitor.Monitor`, serialised as JSONL so runs
+can be re-rendered or diffed offline.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, TextIO
+
+
+@dataclass(frozen=True)
+class MonitorSnapshot:
+    """One per-period observation of the whole stack."""
+
+    time: float
+    device: str
+    controller: str
+    period: float
+    vrate: float
+    busy_level: int
+    #: path -> row; keys include ``weight``, ``hweight``, ``usage_delta``,
+    #: ``debt_ms``, ``delay_ms``, ``queued``, ``active`` plus the io.stat
+    #: counters (``rbytes``/``wbytes``/... and ``cost.*``).
+    groups: Dict[str, Dict[str, float]] = field(default_factory=dict)
+
+    def to_json(self) -> str:
+        payload = {
+            "time": self.time,
+            "device": self.device,
+            "controller": self.controller,
+            "period": self.period,
+            "vrate": self.vrate,
+            "busy_level": self.busy_level,
+            "groups": self.groups,
+        }
+        return json.dumps(payload, separators=(",", ":"))
+
+    @classmethod
+    def from_json(cls, line: str) -> "MonitorSnapshot":
+        payload = json.loads(line)
+        return cls(
+            time=payload["time"],
+            device=payload["device"],
+            controller=payload["controller"],
+            period=payload["period"],
+            vrate=payload["vrate"],
+            busy_level=payload["busy_level"],
+            groups=payload.get("groups", {}),
+        )
+
+
+def load_snapshots(stream: TextIO) -> List[MonitorSnapshot]:
+    """Load a JSONL snapshot stream written by the monitor."""
+    return [MonitorSnapshot.from_json(line) for line in stream if line.strip()]
+
+
+_HEADER = (
+    f"  {'cgroup':<28} {'act':>3} {'weight':>7} {'hweight%':>8} "
+    f"{'usage%':>7} {'wait_ms':>8} {'debt_ms':>8} {'delay_ms':>8}"
+)
+
+
+def render_snapshot(snapshot: MonitorSnapshot) -> str:
+    """Render one snapshot in ``iocost_monitor`` style."""
+    lines = [
+        f"{snapshot.device} {snapshot.controller}  "
+        f"t={snapshot.time:8.3f}s  per={snapshot.period * 1e3:.1f}ms  "
+        f"vrate={snapshot.vrate * 100:7.2f}%  busy={snapshot.busy_level:+d}",
+        _HEADER,
+    ]
+    for path in sorted(snapshot.groups):
+        row = snapshot.groups[path]
+        name = path or "/"
+        if len(name) > 28:
+            name = "..." + name[-25:]
+        active = "*" if row.get("active") else " "
+        usage_pct = row.get("usage_pct", 0.0)
+        lines.append(
+            f"  {name:<28} {active:>3} {row.get('weight', 0):>7.0f} "
+            f"{row.get('hweight', 0.0) * 100:>8.2f} {usage_pct:>7.2f} "
+            f"{row.get('wait_ms', 0.0):>8.2f} {row.get('debt_ms', 0.0):>8.2f} "
+            f"{row.get('delay_ms', 0.0):>8.2f}"
+        )
+    return "\n".join(lines)
+
+
+def render_snapshots(snapshots: Iterable[MonitorSnapshot]) -> str:
+    """Render a whole stream, blank-line separated."""
+    return "\n\n".join(render_snapshot(snapshot) for snapshot in snapshots)

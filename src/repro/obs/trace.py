@@ -1,0 +1,293 @@
+"""Kernel-style tracepoints for the simulated IO stack.
+
+The kernel debugs IOCost through static tracepoints (``iocost_ioc_vrate_adj``,
+``iocost_iocg_activate``, block events consumed by blktrace, ...): emitting
+sites are compiled into the hot paths, cost one branch while nothing is
+attached, and fan out to subscribers when enabled.  This module is the
+simulator's equivalent:
+
+* :data:`TRACE` — the global registry holding one :class:`TracePoint` per
+  catalogued event.  Call sites cache the point object and guard emission
+  with ``if point.enabled:`` — a single attribute check when tracing is off.
+* :class:`TraceBuffer` — a bounded ring buffer subscriber with JSONL
+  persistence.  ``bio_complete`` events convert to
+  :class:`repro.block.trace.TraceRecord` via :meth:`TraceBuffer.to_trace_records`,
+  so a captured trace can be replayed with the existing
+  :class:`~repro.block.trace.TraceReplayer`.
+
+Events are *typed*: each tracepoint declares its field names and emission
+rejects unknown fields, so subscribers can rely on the schema.
+
+The event catalogue::
+
+    bio_submit       bio entered the block layer
+    bio_throttle     a controller held a bio back (budget, tokens, depth)
+    bio_issue        bio dispatched to the device
+    bio_complete     device finished a bio (TraceRecord-convertible)
+    vrate_adjust     IOCost planning path adjusted (or confirmed) vrate
+    qos_period       one IOCost planning period ran
+    donation_recalc  §3.6 donation pass rewrote weights
+    debt_pay         §3.5 debt activity (charge / userspace throttle)
+    reclaim_scan     memory reclaim picked a victim cgroup
+    swap_out         reclaim wrote pages to swap
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Deque, Dict, Iterable, List, Optional, Sequence, TextIO, Tuple
+
+#: The tracepoint catalogue: name -> declared field names.  ``time`` is
+#: implicit on every event (simulated seconds).
+EVENT_CATALOGUE: Dict[str, Tuple[str, ...]] = {
+    "bio_submit": ("cgroup", "op", "nbytes", "sector", "flags", "prio"),
+    "bio_throttle": ("cgroup", "op", "nbytes", "reason", "controller"),
+    "bio_issue": ("cgroup", "op", "nbytes", "wait"),
+    "bio_complete": (
+        "cgroup", "op", "nbytes", "sector", "flags", "prio",
+        "submit_time", "latency", "device_latency",
+    ),
+    "vrate_adjust": ("vrate", "busy_level", "saturated", "starved", "read_p", "write_p"),
+    "qos_period": ("period", "vrate", "active_groups", "budget_blocked"),
+    "donation_recalc": ("donors", "donated_total"),
+    "debt_pay": ("cgroup", "kind", "amount", "debt"),
+    "reclaim_scan": ("requester", "victim", "nbytes", "free_bytes"),
+    "swap_out": ("owner", "charged_to", "nbytes"),
+}
+
+
+class TraceError(ValueError):
+    """Raised for unknown events or fields outside a point's schema."""
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One emitted event: name, simulated timestamp, typed fields."""
+
+    name: str
+    time: float
+    fields: Dict[str, Any] = field(default_factory=dict)
+
+    def to_json(self) -> str:
+        payload = {"event": self.name, "time": self.time}
+        payload.update(self.fields)
+        return json.dumps(payload, separators=(",", ":"))
+
+    @classmethod
+    def from_json(cls, line: str) -> "TraceEvent":
+        payload = json.loads(line)
+        name = payload.pop("event")
+        time = payload.pop("time")
+        return cls(name=name, time=time, fields=payload)
+
+
+class TracePoint:
+    """One named event source.
+
+    ``enabled`` is a plain attribute kept in sync with the subscriber list;
+    hot paths read it once and skip everything else while it is False.
+    """
+
+    __slots__ = ("name", "fields", "enabled", "subscribers")
+
+    def __init__(self, name: str, fields: Sequence[str]):
+        self.name = name
+        self.fields = tuple(fields)
+        self.enabled = False
+        self.subscribers: List[Callable[[TraceEvent], None]] = []
+
+    def emit(self, time: float, **fields: Any) -> None:
+        """Deliver one event to every subscriber (call only when enabled)."""
+        unknown = set(fields) - set(self.fields)
+        if unknown:
+            raise TraceError(
+                f"tracepoint {self.name!r} has no field(s) {sorted(unknown)}"
+            )
+        event = TraceEvent(self.name, time, fields)
+        for subscriber in self.subscribers:
+            subscriber(event)
+
+    def _attach(self, subscriber: Callable[[TraceEvent], None]) -> None:
+        self.subscribers.append(subscriber)
+        self.enabled = True
+
+    def _detach(self, subscriber: Callable[[TraceEvent], None]) -> None:
+        try:
+            self.subscribers.remove(subscriber)
+        except ValueError:
+            return
+        self.enabled = bool(self.subscribers)
+
+
+class Subscription:
+    """Handle returned by :meth:`TraceRegistry.subscribe`; ``close()`` detaches."""
+
+    def __init__(self, points: List[TracePoint], callback: Callable[[TraceEvent], None]):
+        self._points = points
+        self._callback = callback
+        self._open = True
+
+    def close(self) -> None:
+        if not self._open:
+            return
+        self._open = False
+        for point in self._points:
+            point._detach(self._callback)
+
+    def __enter__(self) -> "Subscription":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+
+class TraceRegistry:
+    """A set of named tracepoints (the module-level :data:`TRACE` normally)."""
+
+    def __init__(self, catalogue: Optional[Dict[str, Tuple[str, ...]]] = None):
+        catalogue = EVENT_CATALOGUE if catalogue is None else catalogue
+        self.points: Dict[str, TracePoint] = {
+            name: TracePoint(name, fields) for name, fields in catalogue.items()
+        }
+
+    def point(self, name: str) -> TracePoint:
+        try:
+            return self.points[name]
+        except KeyError:
+            raise TraceError(f"unknown tracepoint {name!r}") from None
+
+    @property
+    def enabled(self) -> bool:
+        """True while any tracepoint has a subscriber."""
+        return any(point.enabled for point in self.points.values())
+
+    def subscribe(
+        self,
+        callback: Callable[[TraceEvent], None],
+        events: Optional[Iterable[str]] = None,
+    ) -> Subscription:
+        """Attach ``callback`` to the named events (all events by default)."""
+        names = list(events) if events is not None else list(self.points)
+        points = [self.point(name) for name in names]
+        for point in points:
+            point._attach(callback)
+        return Subscription(points, callback)
+
+    def reset(self) -> None:
+        """Drop every subscriber (test/teardown helper)."""
+        for point in self.points.values():
+            point.subscribers.clear()
+            point.enabled = False
+
+
+#: The global registry all instrumented modules emit through — the analogue
+#: of the kernel's static tracepoints being process-global.
+TRACE = TraceRegistry()
+
+
+class TraceBuffer:
+    """Bounded ring buffer of :class:`TraceEvent` with JSONL persistence.
+
+    Subscribe it to a registry (``with TraceBuffer().attach(...)``) to start
+    collection; when the buffer is full the oldest events are dropped, as a
+    kernel trace ring does.
+    """
+
+    def __init__(self, capacity: int = 65536):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._events: Deque[TraceEvent] = deque(maxlen=capacity)
+        self.recorded = 0
+        self._subscription: Optional[Subscription] = None
+
+    def __call__(self, event: TraceEvent) -> None:
+        self._events.append(event)
+        self.recorded += 1
+
+    # -- subscription ------------------------------------------------------
+
+    def attach(
+        self,
+        registry: Optional[TraceRegistry] = None,
+        events: Optional[Iterable[str]] = None,
+    ) -> "TraceBuffer":
+        if self._subscription is not None:
+            raise TraceError("buffer already attached")
+        registry = TRACE if registry is None else registry
+        self._subscription = registry.subscribe(self, events)
+        return self
+
+    def detach(self) -> None:
+        if self._subscription is not None:
+            self._subscription.close()
+            self._subscription = None
+
+    def __enter__(self) -> "TraceBuffer":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.detach()
+
+    # -- access ------------------------------------------------------------
+
+    @property
+    def events(self) -> List[TraceEvent]:
+        return list(self._events)
+
+    @property
+    def dropped(self) -> int:
+        """Events lost to ring overflow."""
+        return self.recorded - len(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def select(self, name: str) -> List[TraceEvent]:
+        return [event for event in self._events if event.name == name]
+
+    # -- persistence ---------------------------------------------------------
+
+    def save(self, stream: TextIO) -> int:
+        """Write buffered events as JSON lines; returns the count."""
+        count = 0
+        for event in self._events:
+            stream.write(event.to_json() + "\n")
+            count += 1
+        return count
+
+    def to_trace_records(self) -> list:
+        """Convert buffered ``bio_complete`` events to replayable records.
+
+        Returns :class:`repro.block.trace.TraceRecord` objects sorted by
+        submit time — the bridge between live tracing and the existing
+        trace-replay tooling.
+        """
+        from repro.block.trace import TraceRecord  # local: avoids import cycle
+
+        records = []
+        for event in self._events:
+            if event.name != "bio_complete":
+                continue
+            fields = event.fields
+            records.append(
+                TraceRecord(
+                    submit_time=fields["submit_time"],
+                    cgroup=fields["cgroup"],
+                    op=fields["op"],
+                    nbytes=fields["nbytes"],
+                    sector=fields["sector"],
+                    flags=fields["flags"],
+                    latency=fields["latency"],
+                    prio=fields.get("prio"),
+                )
+            )
+        records.sort(key=lambda record: record.submit_time)
+        return records
+
+
+def load_events(stream: TextIO) -> List[TraceEvent]:
+    """Load a JSONL event stream written by :meth:`TraceBuffer.save`."""
+    return [TraceEvent.from_json(line) for line in stream if line.strip()]

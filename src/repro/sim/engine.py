@@ -169,6 +169,9 @@ class Simulator:
         self.now = 0.0
         self._heap: List[Event] = []
         self._seq = itertools.count()
+        #: Callbacks dispatched so far — the denominator for per-event
+        #: overhead accounting (repro.obs.overhead).
+        self.events_processed = 0
 
     # -- scheduling -------------------------------------------------------
 
@@ -203,6 +206,7 @@ class Simulator:
             if event.cancelled:
                 continue
             self.now = event.time
+            self.events_processed += 1
             event.callback(*event.args)
             return True
         return False

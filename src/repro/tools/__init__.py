@@ -7,4 +7,7 @@
 * ``python -m repro.tools.compare <device>`` — run the canonical
   proportional-control scenario under every mechanism and print the
   comparison table.
+* ``python -m repro.tools.monitor <trace.jsonl>`` — re-render a saved
+  per-period monitor stream in ``iocost_monitor.py`` style (the live
+  :class:`repro.tools.monitor.Monitor` writes such streams).
 """

@@ -1,0 +1,181 @@
+"""Live per-period monitor — the simulation's ``iocost_monitor.py``.
+
+The kernel ships ``iocost_monitor.py``, a drgn script that walks live kernel
+memory once per period and prints device state (vrate%, busy level) plus one
+row per cgroup (hweight, usage, debt, delay).  :class:`Monitor` is the
+simulation equivalent: it registers a periodic simulator callback, captures
+a :class:`~repro.obs.snapshot.MonitorSnapshot` each interval from the
+controller's introspection surface and the :class:`~repro.obs.iostat.IOStat`
+counters, optionally streaming them as JSONL, and renders them in the same
+tabular style.
+
+Library use::
+
+    bed = Testbed("ssd_new", "iocost")
+    with open("run.jsonl", "w") as out:
+        monitor = Monitor(bed, stream=out).start()
+        bed.sim.run(until=30.0)
+        monitor.stop()
+    print(monitor.render())
+
+CLI use (re-render a saved stream)::
+
+    python -m repro.tools.monitor run.jsonl --last 3
+
+The monitor is strictly read-only: attaching it never changes simulation
+results (guarded by ``tests/integration/test_monitor.py``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, List, Optional, TextIO
+
+from repro.obs.iostat import IOStat
+from repro.obs.snapshot import MonitorSnapshot, load_snapshots, render_snapshots
+
+#: Fallback sampling interval when the controller has no planning period.
+DEFAULT_INTERVAL = 0.05
+
+
+class Monitor:
+    """Periodic observer over a testbed (or equivalent component bundle).
+
+    ``bed`` needs ``sim``, ``layer``, ``controller`` and ``cgroups``
+    attributes — a :class:`repro.testbed.Testbed` or anything shaped like
+    one.  The sampling ``interval`` defaults to the controller's QoS period
+    when it has one (so snapshots land once per planning period, right after
+    the plan tick, which the event heap orders first at equal timestamps).
+    """
+
+    def __init__(
+        self,
+        bed,
+        interval: Optional[float] = None,
+        stream: Optional[TextIO] = None,
+    ) -> None:
+        self.sim = bed.sim
+        self.layer = bed.layer
+        self.controller = bed.controller
+        self.cgroups = bed.cgroups
+        qos = getattr(self.controller, "qos", None)
+        self.interval = interval if interval is not None else (
+            qos.period if qos is not None else DEFAULT_INTERVAL
+        )
+        if self.interval <= 0:
+            raise ValueError("monitor interval must be positive")
+        self.stream = stream
+        self.iostat = IOStat(self.cgroups, controller=self.controller)
+        self.snapshots: List[MonitorSnapshot] = []
+        self._timer = None
+        # Previous cumulative counters, for per-interval deltas.
+        self._prev: Dict[str, Dict[str, float]] = {}
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def start(self) -> "Monitor":
+        if self._timer is None:
+            self._timer = self.sim.schedule(self.interval, self._tick)
+        return self
+
+    def stop(self) -> "Monitor":
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        return self
+
+    # -- capture ------------------------------------------------------------
+
+    def _tick(self) -> None:
+        snapshot = self.capture()
+        self.snapshots.append(snapshot)
+        if self.stream is not None:
+            self.stream.write(snapshot.to_json() + "\n")
+        self._timer = self.sim.schedule(self.interval, self._tick)
+
+    def capture(self) -> MonitorSnapshot:
+        """Take one snapshot right now (also usable without :meth:`start`)."""
+        vrate = getattr(self.controller, "vrate", 1.0)
+        vrate_ctl = getattr(self.controller, "vrate_ctl", None)
+        busy = vrate_ctl.busy_level if vrate_ctl is not None else 0
+        io_snapshot = self.iostat.snapshot()
+
+        groups: Dict[str, Dict[str, float]] = {}
+        for path, entry in io_snapshot.items():
+            row = dict(entry)
+            cgroup = self.cgroups.lookup(path) if path in self.cgroups else None
+            stat = getattr(self.controller, "stat", None)
+            if stat is not None and cgroup is not None:
+                ctl = stat(cgroup)
+                row["active"] = 1.0 if ctl.get("active") else 0.0
+                row["weight"] = float(ctl.get("weight", cgroup.weight))
+                row["hweight"] = float(ctl.get("hweight", 0.0))
+                row["queued"] = float(ctl.get("queued", 0))
+                row["debt_ms"] = float(ctl.get("debt_walltime", 0.0)) * 1e3
+            else:
+                row["weight"] = float(cgroup.weight) if cgroup is not None else 0.0
+            prev = self._prev.get(path, {})
+            usage_delta = row.get("cost.usage", 0.0) - prev.get("cost.usage", 0.0)
+            row["usage_delta"] = usage_delta
+            # Usage as percent of device time over the sampling interval.
+            row["usage_pct"] = usage_delta / self.interval * 100.0
+            row["wait_ms"] = (
+                row.get("wait_usec", 0.0) - prev.get("wait_usec", 0.0)
+            ) / 1e3
+            row["delay_ms"] = (
+                row.get("cost.indelay", 0.0) - prev.get("cost.indelay", 0.0)
+            ) * 1e3
+            groups[path] = row
+        self._prev = {path: dict(row) for path, row in groups.items()}
+
+        return MonitorSnapshot(
+            time=self.sim.now,
+            device=self.layer.device.spec.name,
+            controller=self.controller.name,
+            period=self.interval,
+            vrate=vrate,
+            busy_level=busy,
+            groups=groups,
+        )
+
+    # -- rendering ----------------------------------------------------------
+
+    def render(self, last: Optional[int] = None) -> str:
+        """Render captured snapshots ``iocost_monitor``-style."""
+        snapshots = self.snapshots if last is None else self.snapshots[-last:]
+        return render_snapshots(snapshots)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Re-render a saved JSONL snapshot stream."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.tools.monitor",
+        description="Render monitor JSONL in iocost_monitor style.",
+    )
+    parser.add_argument("trace", help="JSONL file written by Monitor(stream=...)")
+    parser.add_argument(
+        "--last", type=int, default=None, metavar="N",
+        help="only render the last N snapshots",
+    )
+    args = parser.parse_args(argv)
+    try:
+        with open(args.trace) as stream:
+            snapshots = load_snapshots(stream)
+    except OSError as exc:
+        print(f"cannot read {args.trace}: {exc.strerror}", file=sys.stderr)
+        return 1
+    except (ValueError, KeyError) as exc:
+        print(f"{args.trace}: not a monitor JSONL stream ({exc})", file=sys.stderr)
+        return 1
+    if args.last is not None:
+        snapshots = snapshots[-args.last:]
+    if not snapshots:
+        print("(no snapshots)", file=sys.stderr)
+        return 1
+    print(render_snapshots(snapshots))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry
+    sys.exit(main())

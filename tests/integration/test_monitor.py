@@ -1,0 +1,124 @@
+"""Integration tests for the live monitor over a fig13-style vrate run."""
+
+import io
+import json
+
+import pytest
+
+from repro.block.device_models import SSD_NEW
+from repro.obs.snapshot import MonitorSnapshot, load_snapshots, render_snapshot
+from repro.testbed import Testbed
+from repro.tools import monitor as monitor_cli
+from repro.tools.monitor import Monitor
+
+DURATION = 1.5
+
+
+def run_monitored(stream=None, with_monitor=True, seed=9):
+    bed = Testbed(SSD_NEW.scaled(0.1), "iocost", seed=seed)
+    high = bed.add_cgroup("workload.slice/high", weight=200)
+    low = bed.add_cgroup("workload.slice/low", weight=100)
+    bed.saturate(high, depth=32, stop_at=DURATION)
+    bed.saturate(low, depth=32, stop_at=DURATION)
+    mon = Monitor(bed, stream=stream).start() if with_monitor else None
+    bed.sim.run(until=DURATION + 0.1)
+    if mon is not None:
+        mon.stop()
+    bed.controller.detach()
+    return bed, mon
+
+
+class TestCapture:
+    def test_per_period_snapshots(self):
+        bed, mon = run_monitored()
+        # One snapshot per planning period over the run.
+        expected = (DURATION + 0.1) / bed.controller.qos.period
+        assert len(mon.snapshots) == pytest.approx(expected, abs=2)
+        snap = mon.snapshots[-1]
+        assert snap.controller == "iocost"
+        assert snap.device == "ssd_new-x0.1"
+        assert snap.period == bed.controller.qos.period
+        assert snap.vrate > 0
+        assert -16 <= snap.busy_level <= 16
+
+    def test_group_rows_have_required_keys(self):
+        _, mon = run_monitored()
+        # Mid-run: the workloads are still active (they stop at DURATION and
+        # idle groups are deactivated after a full quiet period).
+        mid = mon.snapshots[len(mon.snapshots) // 2].groups["workload.slice/high"]
+        for key in ("hweight", "weight", "usage_pct", "usage_delta", "debt_ms",
+                    "wait_ms", "delay_ms", "queued", "active",
+                    "rbytes", "rios", "cost.usage", "cost.vrate"):
+            assert key in mid, key
+        assert mid["active"] == 1.0
+        assert mid["weight"] == 200
+        assert 0 < mid["hweight"] <= 1.0
+        # The saturating group actually used device time this period.
+        assert mid["usage_pct"] > 0
+
+    def test_jsonl_stream_and_reload(self):
+        stream = io.StringIO()
+        _, mon = run_monitored(stream=stream)
+        stream.seek(0)
+        loaded = load_snapshots(stream)
+        assert len(loaded) == len(mon.snapshots)
+        assert loaded[-1] == mon.snapshots[-1]
+        # Every line is standalone JSON with the headline fields.
+        stream.seek(0)
+        first = json.loads(stream.readline())
+        assert {"time", "vrate", "busy_level", "groups"} <= set(first)
+
+    def test_monitor_does_not_change_results(self):
+        """Attaching the monitor must leave the simulation byte-identical."""
+
+        def fingerprint(with_monitor):
+            bed, _ = run_monitored(with_monitor=with_monitor)
+            return json.dumps(
+                {
+                    "completed": bed.layer.completed_by_cgroup,
+                    "bytes": bed.layer.bytes_by_cgroup,
+                    "vrate": bed.controller.vrate,
+                },
+                sort_keys=True,
+            ).encode()
+
+        assert fingerprint(False) == fingerprint(True)
+
+
+class TestRendering:
+    def test_render_snapshot_format(self):
+        _, mon = run_monitored()
+        text = render_snapshot(mon.snapshots[-1])
+        assert "vrate=" in text and "busy=" in text
+        assert "workload.slice/high" in text
+        assert "hweight%" in text
+        assert mon.render(last=2).count("vrate=") == 2
+
+    def test_cli_rerenders_saved_stream(self, tmp_path, capsys):
+        path = tmp_path / "run.jsonl"
+        with open(path, "w") as stream:
+            run_monitored(stream=stream)
+        assert monitor_cli.main([str(path), "--last", "3"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("vrate=") == 3
+        assert "workload.slice/low" in out
+
+    def test_cli_empty_stream_fails(self, tmp_path, capsys):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        assert monitor_cli.main([str(path)]) == 1
+
+
+class TestSnapshotFormat:
+    def test_roundtrip(self):
+        snap = MonitorSnapshot(
+            time=1.0, device="d", controller="iocost", period=0.05,
+            vrate=1.2, busy_level=-3,
+            groups={"a": {"hweight": 0.5, "usage_pct": 40.0}},
+        )
+        assert MonitorSnapshot.from_json(snap.to_json()) == snap
+
+    def test_monitor_rejects_bad_interval(self):
+        bed, _ = run_monitored(with_monitor=False)
+        with pytest.raises(ValueError):
+            Monitor(bed, interval=0.0)

@@ -1,0 +1,11 @@
+import pytest
+
+from repro.obs.trace import TRACE
+
+
+@pytest.fixture(autouse=True)
+def clean_registry():
+    """The registry is process-global; never leak subscribers across tests."""
+    TRACE.reset()
+    yield
+    TRACE.reset()

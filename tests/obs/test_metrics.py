@@ -1,0 +1,127 @@
+"""Tests for counters, gauges, the log-bucketed histogram, and the shim."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import stats
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricRegistry,
+    exact_percentile,
+)
+
+
+class TestCounterGauge:
+    def test_counter_increments(self):
+        counter = Counter("ios")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+
+    def test_counter_rejects_decrease(self):
+        with pytest.raises(ValueError):
+            Counter().inc(-1)
+
+    def test_gauge_last_write_wins(self):
+        gauge = Gauge("vrate", 1.0)
+        gauge.set(0.5)
+        gauge.set(1.25)
+        assert gauge.value == 1.25
+
+
+class TestHistogram:
+    def test_exact_aggregates(self):
+        histogram = Histogram(resolution=0.02)
+        samples = [1.0, 2.0, 3.0, 4.0]
+        histogram.record_many(samples)
+        assert histogram.count == 4
+        assert histogram.sum == pytest.approx(10.0)
+        assert histogram.min == 1.0
+        assert histogram.max == 4.0
+        assert histogram.mean == pytest.approx(2.5)
+
+    def test_percentiles_within_resolution_of_exact(self):
+        """Every percentile lands within one relative bucket of ground truth."""
+        rng = np.random.default_rng(42)
+        samples = list(rng.lognormal(mean=-7.0, sigma=1.0, size=20_000))
+        histogram = Histogram(resolution=0.02)
+        histogram.record_many(samples)
+        for pct in (1, 10, 50, 90, 95, 99, 99.9):
+            exact = exact_percentile(samples, pct)
+            approx = histogram.percentile(pct)
+            assert approx == pytest.approx(exact, rel=0.021), pct
+
+    def test_extremes_are_exact(self):
+        histogram = Histogram()
+        histogram.record_many([3e-3, 5e-3, 7e-3])
+        assert histogram.percentile(100) == 7e-3
+        assert histogram.percentile(0) <= 3e-3 * 1.02
+
+    def test_zero_and_negative_samples(self):
+        histogram = Histogram()
+        histogram.record_many([0.0, 0.0, 0.0, 1.0])
+        assert histogram.count == 4
+        assert histogram.p50 == 0.0
+        assert histogram.percentile(100) == 1.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            Histogram().percentile(50)
+        with pytest.raises(ValueError):
+            _ = Histogram().mean
+
+    def test_bad_resolution(self):
+        with pytest.raises(ValueError):
+            Histogram(resolution=0.0)
+        with pytest.raises(ValueError):
+            Histogram(resolution=1.5)
+
+    def test_summary_shape(self):
+        histogram = Histogram("lat")
+        assert histogram.summary() == {
+            "count": 0, "mean": 0.0, "p50": 0.0, "p95": 0.0, "p99": 0.0, "max": 0.0
+        }
+        histogram.record(2e-3)
+        summary = histogram.summary()
+        assert summary["count"] == 1
+        assert summary["max"] == 2e-3
+
+
+class TestRegistry:
+    def test_metrics_are_memoised(self):
+        registry = MetricRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.gauge("g") is registry.gauge("g")
+        assert registry.histogram("h") is registry.histogram("h")
+
+    def test_as_dict_flattens(self):
+        registry = MetricRegistry()
+        registry.counter("ios").inc(7)
+        registry.gauge("vrate").set(1.5)
+        registry.histogram("lat").record(1e-3)
+        snapshot = registry.as_dict()
+        assert snapshot["ios"] == 7
+        assert snapshot["vrate"] == 1.5
+        assert snapshot["lat"]["count"] == 1
+
+
+class TestStatsShim:
+    """repro.analysis.stats.percentile must keep its exact legacy behaviour."""
+
+    def test_delegates_to_exact_percentile(self):
+        samples = [5.0, 1.0, 3.0, 2.0, 4.0]
+        for pct in (0, 20, 50, 90, 100):
+            assert stats.percentile(samples, pct) == exact_percentile(samples, pct)
+
+    def test_legacy_nearest_rank_values(self):
+        assert stats.percentile([1.0, 2.0, 3.0, 4.0], 50) == 2.0
+        assert stats.percentile([1.0, 2.0, 3.0, 4.0], 0) == 1.0
+        assert stats.percentile([1.0, 2.0, 3.0, 4.0], 100) == 4.0
+
+    def test_legacy_errors_preserved(self):
+        with pytest.raises(ValueError):
+            stats.percentile([], 50)
+        with pytest.raises(ValueError):
+            stats.percentile([1.0], 101)
