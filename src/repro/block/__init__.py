@@ -1,23 +1,28 @@
 """Block layer substrate: bios, simulated devices, and the dispatch layer."""
 
 from repro.block.bio import Bio, BioFlags, IOOp, SECTOR_SIZE
-from repro.block.device import Device, DeviceSpec
+from repro.block.device import DEFAULT_DEVNO, Device, DeviceSpec
 from repro.block.device_models import DEVICE_CATALOG, get_device_spec
 from repro.block.layer import BlockLayer
+from repro.block.registry import DeviceRegistry, DeviceRegistryError, devno_for_index
 from repro.block.trace import TraceRecord, TraceRecorder, TraceReplayer, load_trace
 
 __all__ = [
     "Bio",
     "BioFlags",
     "BlockLayer",
+    "DEFAULT_DEVNO",
     "DEVICE_CATALOG",
     "Device",
+    "DeviceRegistry",
+    "DeviceRegistryError",
     "DeviceSpec",
     "IOOp",
     "SECTOR_SIZE",
     "TraceRecord",
     "TraceRecorder",
     "TraceReplayer",
+    "devno_for_index",
     "get_device_spec",
     "load_trace",
 ]

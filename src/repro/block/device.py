@@ -118,13 +118,36 @@ class DeviceSpec:
         )
 
 
-class Device:
-    """Discrete-event model of one block device."""
+#: Device id given to devices created outside a :class:`DeviceRegistry`
+#: (single-device rigs, unit tests).  Matches the kernel's first SCSI disk.
+DEFAULT_DEVNO = "8:0"
 
-    def __init__(self, sim: Simulator, spec: DeviceSpec, rng: np.random.Generator):
+
+class Device:
+    """Discrete-event model of one block device.
+
+    ``name`` is the machine-local block-device name (``vda``-style; defaults
+    to the spec's catalogue name) and ``devno`` the stable ``maj:min`` id
+    under which all per-device accounting — io.stat lines, per-cgroup
+    :class:`~repro.cgroup.tree.IOStats` records, tracepoint ``dev`` fields —
+    is keyed.  Multi-device machines get unique devnos from
+    :class:`repro.block.registry.DeviceRegistry`.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        spec: DeviceSpec,
+        rng: np.random.Generator,
+        *,
+        name: Optional[str] = None,
+        devno: str = DEFAULT_DEVNO,
+    ):
         self.sim = sim
         self.spec = spec
         self.rng = rng
+        self.name = name if name is not None else spec.name
+        self.devno = devno
         self.on_complete: Optional[Callable[[Bio], None]] = None
         # Internal queues: reads are serviced ahead of queued writes (flash
         # controllers buffer writes and prioritise reads), with a small
@@ -283,6 +306,7 @@ class Device:
         if self._tp_complete.enabled and bio.complete_time is not None:
             self._tp_complete.emit(
                 self.sim.now,
+                dev=self.devno,
                 cgroup=bio.cgroup.path,
                 op=bio.op.value,
                 nbytes=bio.nbytes,

@@ -25,6 +25,7 @@ from repro.obs.trace import TRACE
 from repro.sim import Signal, Simulator
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.cgroup import CgroupTree
     from repro.controllers.base import IOController
 
 
@@ -45,6 +46,8 @@ class BlockLayer:
         self.sim = sim
         self.device = device
         self.controller = controller
+        #: Stable ``maj:min`` device id all per-device accounting keys on.
+        self.dev = device.devno
         device.on_complete = self._device_completed
         controller.attach(self)
 
@@ -77,11 +80,12 @@ class BlockLayer:
         bio.submit_time = self.sim.now
         bio.completion = self.sim.signal()
         self._detect_sequential(bio)
-        bio.cgroup.stats.account(bio.is_write, bio.nbytes)
+        bio.cgroup.stats.account(bio.is_write, bio.nbytes, self.dev)
         self.submitted_ios += 1
         if self._tp_submit.enabled:
             self._tp_submit.emit(
                 self.sim.now,
+                dev=self.dev,
                 cgroup=bio.cgroup.path,
                 op=bio.op.value,
                 nbytes=bio.nbytes,
@@ -96,10 +100,11 @@ class BlockLayer:
         return bio.completion
 
     def _detect_sequential(self, bio: Bio) -> None:
-        device_name = self.device.spec.name
-        last_end = bio.cgroup.last_end_sector.get(device_name)
+        # Keyed by devno, not spec name: two devices of the same model must
+        # not share a cgroup's sequentiality tracker.
+        last_end = bio.cgroup.last_end_sector.get(self.dev)
         bio.sequential = last_end is not None and bio.sector == last_end
-        bio.cgroup.last_end_sector[device_name] = bio.end_sector
+        bio.cgroup.last_end_sector[self.dev] = bio.end_sector
 
     # -- dispatch (controller-facing) ----------------------------------------
 
@@ -131,6 +136,7 @@ class BlockLayer:
         if self._tp_issue.enabled:
             self._tp_issue.emit(
                 self.sim.now,
+                dev=self.dev,
                 cgroup=bio.cgroup.path,
                 op=bio.op.value,
                 nbytes=bio.nbytes,
@@ -148,8 +154,9 @@ class BlockLayer:
         path = bio.cgroup.path
         self.completed_by_cgroup[path] = self.completed_by_cgroup.get(path, 0) + 1
         self.bytes_by_cgroup[path] = self.bytes_by_cgroup.get(path, 0) + bio.nbytes
-        # io.stat wait accounting: wall time the bio spent above the device.
-        bio.cgroup.stats.wait_total += bio.issue_time - bio.submit_time
+        # io.stat wait accounting: wall time the bio spent above the device,
+        # charged to this device's per-cgroup record.
+        bio.cgroup.stats.device(self.dev).wait_total += bio.issue_time - bio.submit_time
 
         latency = bio.device_latency
         if bio.is_write:
@@ -170,6 +177,34 @@ class BlockLayer:
             window = LatencyWindow(self._latency_window)
             self.cgroup_latency[path] = window
         return window
+
+    # -- cgroup lifetime ---------------------------------------------------------
+
+    def observe_tree(self, tree: "CgroupTree") -> "BlockLayer":
+        """Follow cgroup removals on ``tree`` so per-cgroup state is pruned.
+
+        Without this, ``completed_by_cgroup`` / ``bytes_by_cgroup`` /
+        ``cgroup_latency`` keep entries for removed cgroups for the life of
+        the layer.  On removal the completion counters fold into the parent
+        (mirroring :class:`repro.obs.iostat.IOStat`'s rstat semantics, so
+        machine-wide totals never regress) and the latency window — a
+        sliding measurement, not a cumulative counter — is dropped.
+        """
+        tree.add_remove_hook(self._on_cgroup_removed)
+        return self
+
+    def _on_cgroup_removed(self, cgroup: Cgroup) -> None:
+        assert cgroup.parent is not None  # the root cannot be removed
+        path, parent = cgroup.path, cgroup.parent.path
+        count = self.completed_by_cgroup.pop(path, 0)
+        if count:
+            self.completed_by_cgroup[parent] = (
+                self.completed_by_cgroup.get(parent, 0) + count
+            )
+        nbytes = self.bytes_by_cgroup.pop(path, 0)
+        if nbytes:
+            self.bytes_by_cgroup[parent] = self.bytes_by_cgroup.get(parent, 0) + nbytes
+        self.cgroup_latency.pop(path, None)
 
     # -- convenience -------------------------------------------------------------
 

@@ -9,19 +9,23 @@ Figure 1 (``system`` / ``hostcritical`` / ``workload`` slices).
 from repro.cgroup.tree import (
     Cgroup,
     CgroupError,
+    CgroupIOStats,
     CgroupTree,
     IOStats,
     MAX_WEIGHT,
     MIN_WEIGHT,
+    UNATTRIBUTED_DEV,
     make_meta_hierarchy,
 )
 
 __all__ = [
     "Cgroup",
     "CgroupError",
+    "CgroupIOStats",
     "CgroupTree",
     "IOStats",
     "MAX_WEIGHT",
     "MIN_WEIGHT",
+    "UNATTRIBUTED_DEV",
     "make_meta_hierarchy",
 ]

@@ -22,16 +22,23 @@ class CgroupError(ValueError):
     """Raised for invalid cgroup operations (bad weight, duplicate child...)."""
 
 
+#: Device id used when IO is accounted without naming a device (direct
+#: ``stats.account(...)`` calls outside any block layer).  Mirrors the
+#: kernel's 0:0 pseudo-device.
+UNATTRIBUTED_DEV = "0:0"
+
+
 @dataclass
 class IOStats:
-    """Cumulative per-cgroup IO accounting (the ``io.stat`` analogue).
+    """One device's cumulative IO accounting for one cgroup.
 
     ``rbytes``/``wbytes``/``rios``/``wios`` count at submission, as the
     kernel does (``blk_cgroup_bio_start``).  ``dbytes``/``dios`` exist for
     io.stat format parity (the simulation issues no discards).
-    ``wait_total`` accumulates, at completion, the wall seconds each bio
-    spent above the device (throttling + issue-path CPU) — the source of
-    the io.stat ``wait_usec`` key.
+    ``wait_total`` accumulates, at completion, the wall **seconds** each bio
+    spent above the device (throttling + issue-path CPU); the io.stat
+    surface reports it in microseconds via :attr:`wait_usec` — the single
+    place that conversion happens.
     """
 
     rbytes: int = 0
@@ -49,6 +56,88 @@ class IOStats:
         else:
             self.rbytes += nbytes
             self.rios += 1
+
+    @property
+    def wait_usec(self) -> float:
+        """``wait_total`` (seconds) in io.stat's microsecond unit."""
+        return self.wait_total * 1e6
+
+    @property
+    def total_bytes(self) -> int:
+        return self.rbytes + self.wbytes
+
+    @property
+    def total_ios(self) -> int:
+        return self.rios + self.wios
+
+
+class CgroupIOStats:
+    """Per-device IO accounting for one cgroup (``Cgroup.stats``).
+
+    Holds one :class:`IOStats` record per device id (``maj:min`` string),
+    matching the kernel where ``io.stat`` reports one line per device.  The
+    machine-wide aggregates the old single-device ``IOStats`` surfaced
+    (``rbytes``, ``wait_total``, ``total_bytes``, ...) remain available as
+    read-only properties summing over devices, so existing callers keep
+    working unchanged.
+    """
+
+    __slots__ = ("per_device",)
+
+    def __init__(self) -> None:
+        self.per_device: Dict[str, IOStats] = {}
+
+    def device(self, dev: str) -> IOStats:
+        """The record for one device id (created on first use)."""
+        stats = self.per_device.get(dev)
+        if stats is None:
+            stats = IOStats()
+            self.per_device[dev] = stats
+        return stats
+
+    def devices(self) -> Iterator[tuple]:
+        """Iterate ``(dev_id, IOStats)`` pairs."""
+        return iter(self.per_device.items())
+
+    def account(self, is_write: bool, nbytes: int, dev: str = UNATTRIBUTED_DEV) -> None:
+        self.device(dev).account(is_write, nbytes)
+
+    # -- machine-wide aggregates (the legacy single-device surface) -------
+
+    def _sum(self, attr: str):
+        return sum(getattr(stats, attr) for stats in self.per_device.values())
+
+    @property
+    def rbytes(self) -> int:
+        return self._sum("rbytes")
+
+    @property
+    def wbytes(self) -> int:
+        return self._sum("wbytes")
+
+    @property
+    def rios(self) -> int:
+        return self._sum("rios")
+
+    @property
+    def wios(self) -> int:
+        return self._sum("wios")
+
+    @property
+    def dbytes(self) -> int:
+        return self._sum("dbytes")
+
+    @property
+    def dios(self) -> int:
+        return self._sum("dios")
+
+    @property
+    def wait_total(self) -> float:
+        return self._sum("wait_total")
+
+    @property
+    def wait_usec(self) -> float:
+        return self._sum("wait_usec")
 
     @property
     def total_bytes(self) -> int:
@@ -76,10 +165,10 @@ class Cgroup:
         self.children: Dict[str, Cgroup] = {}
         self._weight = DEFAULT_WEIGHT
         self.weight = weight
-        self.stats = IOStats()
+        self.stats = CgroupIOStats()
         # Per-controller private state, keyed by controller name.
         self.controller_data: Dict[str, Any] = {}
-        # Sequential-detection state: device sector expected next, per device.
+        # Sequential-detection state: sector expected next, per device id.
         self.last_end_sector: Dict[str, int] = {}
 
     # -- weight -----------------------------------------------------------

@@ -84,6 +84,7 @@ class IOController(abc.ABC):
         if self._tp_throttle.enabled:
             self._tp_throttle.emit(
                 self.layer.sim.now,
+                dev=self.layer.dev,
                 cgroup=path,
                 op=bio.op.value,
                 nbytes=bio.nbytes,

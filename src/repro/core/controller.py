@@ -146,6 +146,7 @@ class IOCost(IOController):
         if delay > 0 and self._tp_debt.enabled:
             self._tp_debt.emit(
                 self.layer.sim.now,
+                dev=self.layer.dev,
                 cgroup=cgroup.path,
                 kind="userspace_delay",
                 amount=delay,
@@ -180,6 +181,7 @@ class IOCost(IOController):
                     if self._tp_debt.enabled:
                         self._tp_debt.emit(
                             self.layer.sim.now,
+                            dev=self.layer.dev,
                             cgroup=group.cgroup.path,
                             kind="charge",
                             amount=bio.abs_cost,
@@ -296,6 +298,7 @@ class IOCost(IOController):
         if self._tp_vrate.enabled:
             self._tp_vrate.emit(
                 sim.now,
+                dev=self.layer.dev,
                 vrate=vrate,
                 busy_level=self.vrate_ctl.busy_level,
                 saturated=self.vrate_ctl.saturation_events > prev_saturations,
@@ -319,6 +322,7 @@ class IOCost(IOController):
         if self._tp_period.enabled:
             self._tp_period.emit(
                 sim.now,
+                dev=self.layer.dev,
                 period=self.qos.period,
                 vrate=vrate,
                 active_groups=active_groups,
@@ -353,7 +357,9 @@ class IOCost(IOController):
                 )
                 targets[leaf] = keep
         if targets:
-            compute_donations(self.tree, targets, now=self.layer.sim.now)
+            compute_donations(
+                self.tree, targets, now=self.layer.sim.now, dev=self.layer.dev
+            )
             self.donation_passes += 1
 
     # -- introspection ------------------------------------------------------------

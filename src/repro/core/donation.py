@@ -58,7 +58,10 @@ class DonationResult:
 
 
 def compute_donations(
-    tree: WeightTree, targets: Dict[GroupState, float], now: Optional[float] = None
+    tree: WeightTree,
+    targets: Dict[GroupState, float],
+    now: Optional[float] = None,
+    dev: Optional[str] = None,
 ) -> DonationResult:
     """Apply budget donation for the given donors.
 
@@ -68,7 +71,8 @@ def compute_donations(
     effective weights along donor paths and bumps the generation.
 
     ``now`` (simulated seconds) timestamps the ``donation_recalc``
-    tracepoint; omitting it stamps 0.0.
+    tracepoint; omitting it stamps 0.0.  ``dev`` tags the event with the
+    owning device's ``maj:min`` id on multi-device machines.
     """
     result = DonationResult()
     if not targets:
@@ -145,9 +149,11 @@ def compute_donations(
 
     tree.bump()
     if _TP_DONATION.enabled:
-        _TP_DONATION.emit(
-            now if now is not None else 0.0,
+        fields = dict(
             donors=[leaf.cgroup.path for leaf in targets],
             donated_total=result.donated_total,
         )
+        if dev is not None:
+            fields["dev"] = dev
+        _TP_DONATION.emit(now if now is not None else 0.0, **fields)
     return result

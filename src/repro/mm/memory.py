@@ -101,9 +101,17 @@ class MemoryManager:
         limits: Optional[Dict[str, int]] = None,
         kswapd: bool = True,
         seed: int = 0,
+        swap_layer: Optional[BlockLayer] = None,
     ) -> None:
         self.sim = sim
         self.layer = layer
+        #: Where swap IO goes.  Defaults to the data device, but real fleets
+        #: often place swap on a different device than the workload's data
+        #: (the swap-vs-data interference the paper controls for) — pass the
+        #: swap device's layer to model that.  Debt/attribution decisions
+        #: follow the *swap* device's controller, since that is the
+        #: controller the swap bios flow through.
+        self.swap_layer = swap_layer if swap_layer is not None else layer
         self.total_bytes = total_bytes
         self.swap_bytes = swap_bytes
         #: memory.low-style protection: reclaim skips a cgroup while its
@@ -161,8 +169,12 @@ class MemoryManager:
     # -- debt hook ---------------------------------------------------------------
 
     def _userspace_delay(self, cgroup: Cgroup) -> float:
-        """§3.5 return-to-userspace throttle, if the controller provides it."""
-        hook = getattr(self.layer.controller, "userspace_delay", None)
+        """§3.5 return-to-userspace throttle, if the controller provides it.
+
+        Swap debt accrues on the swap device's controller, so that is the
+        one asked for the delay.
+        """
+        hook = getattr(self.swap_layer.controller, "userspace_delay", None)
         if hook is None:
             return 0.0
         return hook(cgroup)
@@ -335,7 +347,7 @@ class MemoryManager:
         in the reclaim context — the root cgroup (kswapd) — which is
         precisely their isolation failure.
         """
-        features = getattr(self.layer.controller, "features", None)
+        features = getattr(self.swap_layer.controller, "features", None)
         if features is not None and features.memory_management_aware == "yes":
             return owner
         root = owner
@@ -352,7 +364,11 @@ class MemoryManager:
         charge_to = self._swap_attribution(owner)
         if self._tp_swap_out.enabled:
             self._tp_swap_out.emit(
-                self.sim.now, owner=owner.path, charged_to=charge_to.path, nbytes=nbytes
+                self.sim.now,
+                dev=self.swap_layer.dev,
+                owner=owner.path,
+                charged_to=charge_to.path,
+                nbytes=nbytes,
             )
         remaining = nbytes
         signals = []
@@ -360,7 +376,7 @@ class MemoryManager:
             chunk = min(remaining, SWAP_OUT_CLUSTER)
             bio = Bio(IOOp.WRITE, chunk, self._swap_sector, charge_to, flags=BioFlags.SWAP)
             self._swap_sector += chunk // 512
-            signals.append(self.layer.submit(bio))
+            signals.append(self.swap_layer.submit(bio))
             remaining -= chunk
         # The reclaiming process waits for all swap-out writes (§3.5's
         # synchronous dependency).
@@ -381,7 +397,7 @@ class MemoryManager:
         while remaining > 0:
             chunk = min(remaining, SWAP_IN_CLUSTER)
             bio = Bio(IOOp.READ, chunk, self._swap_sector, cgroup, flags=BioFlags.SWAP)
-            signals.append(self.layer.submit(bio))
+            signals.append(self.swap_layer.submit(bio))
             remaining -= chunk
         for signal in signals:
             if not signal.fired:

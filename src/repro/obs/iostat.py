@@ -1,29 +1,36 @@
-"""The cgroup2 ``io.stat`` surface, aggregated hierarchically.
+"""The cgroup2 ``io.stat`` surface, aggregated hierarchically, per device.
 
 Kernel semantics reproduced here:
 
+* ``io.stat`` reports **one line per block device** per cgroup
+  (``8:16 rbytes=... wbytes=...``); counters are kept per device id;
 * every cgroup reports cumulative ``rbytes``/``wbytes``/``rios``/``wios``/
   ``dbytes``/``dios`` for itself **plus all descendants** (cgroup2 stats are
   recursive);
-* removing a cgroup folds its counters into the parent — history is never
-  lost (the kernel's ``cgroup_rstat`` flush-on-release behaviour);
-* controllers annotate the same surface with their own keys — IOCost adds
+* removing a cgroup folds its counters into the parent — per device, so
+  history is never lost nor smeared across devices (the kernel's
+  ``cgroup_rstat`` flush-on-release behaviour);
+* each device's controller annotates its own line — IOCost adds
   ``cost.vrate``, ``cost.usage``, ``cost.wait``, ``cost.indebt``,
-  ``cost.indelay`` (see :meth:`repro.core.controller.IOCost.cost_stat`).
+  ``cost.indelay`` (see :meth:`repro.core.controller.IOCost.cost_stat`) on
+  the devices it manages, and only on those.
 
 Usage::
 
     iostat = IOStat(tree, controller=testbed.controller)
-    snap = iostat.snapshot()
+    snap = iostat.snapshot()                  # machine-wide aggregates
     snap["workload.slice"]["rbytes"]          # includes all children
-    snap["workload.slice/app"]["cost.usage"]  # iocost lifetime usage
+
+    iostat = IOStat(tree, controllers=bed.devices.controllers_by_devno())
+    per_dev = iostat.device_snapshot()        # path -> devno -> counters
+    print(iostat.render("workload.slice"))    # kernel io.stat text
 """
 
 from __future__ import annotations
 
 from typing import TYPE_CHECKING, Dict, Optional
 
-from repro.cgroup import Cgroup, CgroupTree
+from repro.cgroup import Cgroup, CgroupTree, IOStats
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.controllers.base import IOController
@@ -31,9 +38,11 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 #: The flat per-cgroup counters that aggregate up the hierarchy.
 FLAT_KEYS = ("rbytes", "wbytes", "rios", "wios", "dbytes", "dios", "wait_usec")
 
+#: Keys printed as integers in :meth:`IOStat.render` (cgroup2 parity).
+_INT_KEYS = frozenset(FLAT_KEYS)
 
-def _flat(cgroup: Cgroup) -> Dict[str, float]:
-    stats = cgroup.stats
+
+def _flat(stats: IOStats) -> Dict[str, float]:
     return {
         "rbytes": stats.rbytes,
         "wbytes": stats.wbytes,
@@ -41,8 +50,13 @@ def _flat(cgroup: Cgroup) -> Dict[str, float]:
         "wios": stats.wios,
         "dbytes": stats.dbytes,
         "dios": stats.dios,
-        "wait_usec": stats.wait_total * 1e6,
+        # The seconds->usec conversion lives on IOStats.wait_usec alone.
+        "wait_usec": stats.wait_usec,
     }
+
+
+def _zero() -> Dict[str, float]:
+    return {key: 0 for key in FLAT_KEYS}
 
 
 def _add(into: Dict[str, float], other: Dict[str, float]) -> None:
@@ -50,52 +64,130 @@ def _add(into: Dict[str, float], other: Dict[str, float]) -> None:
         into[key] += other[key]
 
 
+def _devno_sort_key(devno: str):
+    major, _, minor = devno.partition(":")
+    try:
+        return (int(major), int(minor))
+    except ValueError:  # non-numeric id: sort after real devices
+        return (1 << 30, 0)
+
+
 class IOStat:
-    """Per-cgroup io.stat collector over one :class:`CgroupTree`.
+    """Per-cgroup, per-device io.stat collector over one :class:`CgroupTree`.
 
     Registers a removal hook on the tree so counters of deleted cgroups
     keep contributing to their ancestors, matching kernel semantics.
+
+    ``controllers`` maps device ids (``maj:min``) to the
+    :class:`~repro.controllers.base.IOController` managing that device, so
+    per-device entries carry that controller's keys.  ``controller`` is the
+    single-device shorthand: its keys annotate the machine-wide aggregate
+    entries (and, when the controller is attached to a layer, its device's
+    per-device entries too).
     """
 
-    def __init__(self, tree: CgroupTree, controller: Optional["IOController"] = None):
+    def __init__(
+        self,
+        tree: CgroupTree,
+        controller: Optional["IOController"] = None,
+        controllers: Optional[Dict[str, "IOController"]] = None,
+    ):
         self.tree = tree
         self.controller = controller
+        self.controllers: Dict[str, "IOController"] = dict(controllers or {})
+        if controller is not None and not self.controllers:
+            layer = getattr(controller, "layer", None)
+            dev = getattr(layer, "dev", None)
+            if dev is not None:
+                self.controllers[dev] = controller
         #: Counters inherited from removed children, keyed by the surviving
-        #: parent path.
-        self._dead: Dict[str, Dict[str, float]] = {}
+        #: parent path, then by device id.
+        self._dead: Dict[str, Dict[str, Dict[str, float]]] = {}
         tree.add_remove_hook(self._on_remove)
 
     # -- removal folding -----------------------------------------------------
 
     def _on_remove(self, cgroup: Cgroup) -> None:
         assert cgroup.parent is not None  # the root cannot be removed
-        folded = _flat(cgroup)
+        folded: Dict[str, Dict[str, float]] = {
+            dev: _flat(stats) for dev, stats in cgroup.stats.devices()
+        }
         # The removed group may itself hold stats inherited from its own
-        # removed children; carry those along too.
+        # removed children; carry those along too, device by device.
         own_dead = self._dead.pop(cgroup.path, None)
         if own_dead is not None:
-            _add(folded, own_dead)
-        parent_acc = self._dead.get(cgroup.parent.path)
-        if parent_acc is None:
-            self._dead[cgroup.parent.path] = folded
-        else:
-            _add(parent_acc, folded)
+            for dev, counters in own_dead.items():
+                acc = folded.get(dev)
+                if acc is None:
+                    folded[dev] = dict(counters)
+                else:
+                    _add(acc, counters)
+        if not folded:
+            return
+        parent_acc = self._dead.setdefault(cgroup.parent.path, {})
+        for dev, counters in folded.items():
+            acc = parent_acc.get(dev)
+            if acc is None:
+                parent_acc[dev] = counters
+            else:
+                _add(acc, counters)
 
-    # -- snapshots ------------------------------------------------------------
+    # -- per-device snapshots --------------------------------------------------
+
+    def device_snapshot(self) -> Dict[str, Dict[str, Dict[str, float]]]:
+        """Recursive per-device io.stat for every live cgroup.
+
+        ``result[path][devno]`` holds the hierarchically-summed flat
+        counters for that device, plus the managing controller's keys
+        (``cost.*`` on iocost-managed devices, ``throttled`` on all managed
+        devices).
+        """
+        result: Dict[str, Dict[str, Dict[str, float]]] = {}
+
+        def visit(cgroup: Cgroup) -> Dict[str, Dict[str, float]]:
+            agg: Dict[str, Dict[str, float]] = {
+                dev: _flat(stats) for dev, stats in cgroup.stats.devices()
+            }
+            for dev, counters in self._dead.get(cgroup.path, {}).items():
+                acc = agg.get(dev)
+                if acc is None:
+                    agg[dev] = dict(counters)
+                else:
+                    _add(acc, counters)
+            for child in cgroup.children.values():
+                for dev, counters in visit(child).items():
+                    acc = agg.get(dev)
+                    if acc is None:
+                        agg[dev] = dict(counters)
+                    else:
+                        _add(acc, counters)
+            entry = {dev: dict(counters) for dev, counters in agg.items()}
+            for dev, controller in self.controllers.items():
+                entry.setdefault(dev, _zero()).update(controller.cost_stat(cgroup))
+            result[cgroup.path] = entry
+            return agg
+
+        visit(self.tree.root)
+        return result
+
+    # -- aggregate snapshots ---------------------------------------------------
 
     def snapshot(self) -> Dict[str, Dict[str, float]]:
-        """Recursive io.stat for every live cgroup, keyed by path.
+        """Machine-wide recursive io.stat for every live cgroup, keyed by path.
 
-        Each entry holds the hierarchically-summed flat counters plus any
-        controller-specific ``cost.*`` keys for that cgroup.
+        Each entry holds the hierarchically-summed flat counters over **all
+        devices** plus, when a single ``controller`` was configured, its
+        ``cost.*`` keys for that cgroup — the surface single-device setups
+        have always consumed.
         """
         result: Dict[str, Dict[str, float]] = {}
 
         def visit(cgroup: Cgroup) -> Dict[str, float]:
-            agg = _flat(cgroup)
-            dead = self._dead.get(cgroup.path)
-            if dead is not None:
-                _add(agg, dead)
+            agg = _zero()
+            for _, stats in cgroup.stats.devices():
+                _add(agg, _flat(stats))
+            for counters in self._dead.get(cgroup.path, {}).values():
+                _add(agg, counters)
             for child in cgroup.children.values():
                 _add(agg, visit(child))
             entry = dict(agg)
@@ -108,5 +200,40 @@ class IOStat:
         return result
 
     def of(self, path: str) -> Dict[str, float]:
-        """One cgroup's recursive io.stat entry."""
+        """One cgroup's recursive (all-device) io.stat entry."""
         return self.snapshot()[path]
+
+    def device_of(self, path: str) -> Dict[str, Dict[str, float]]:
+        """One cgroup's recursive per-device io.stat entries."""
+        return self.device_snapshot()[path]
+
+    # -- kernel-format rendering -----------------------------------------------
+
+    def render(self, path: str) -> str:
+        """One cgroup's ``io.stat`` file contents, cgroup2-faithful.
+
+        One line per device in ``maj:min`` order, the six cgroup2 counters
+        first (integers, kernel order), then ``wait_usec`` and the device
+        controller's keys::
+
+            8:0 rbytes=4096 wbytes=0 rios=1 wios=0 dbytes=0 dios=0 ...
+            8:16 rbytes=0 wbytes=65536 ... cost.vrate=1.00 cost.usage=...
+        """
+        entry = self.device_snapshot()[path]
+        lines = []
+        for dev in sorted(entry, key=_devno_sort_key):
+            parts = [dev]
+            counters = entry[dev]
+            for key in FLAT_KEYS:
+                parts.append(f"{key}={int(round(counters.get(key, 0)))}")
+            for key in sorted(k for k in counters if k not in _INT_KEYS):
+                value = counters[key]
+                if isinstance(value, bool):
+                    rendered = str(int(value))
+                elif isinstance(value, int):
+                    rendered = str(value)
+                else:
+                    rendered = f"{value:.2f}"
+                parts.append(f"{key}={rendered}")
+            lines.append(" ".join(parts))
+        return "\n".join(lines)

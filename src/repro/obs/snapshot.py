@@ -12,12 +12,17 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, TextIO
+from typing import Dict, Iterable, List, Optional, TextIO
 
 
 @dataclass(frozen=True)
 class MonitorSnapshot:
-    """One per-period observation of the whole stack."""
+    """One per-period observation of one device's stack.
+
+    Multi-device machines produce one snapshot per device per period;
+    ``dev`` carries the device's stable ``maj:min`` id (``None`` on streams
+    recorded before device ids existed).
+    """
 
     time: float
     device: str
@@ -27,13 +32,15 @@ class MonitorSnapshot:
     busy_level: int
     #: path -> row; keys include ``weight``, ``hweight``, ``usage_delta``,
     #: ``debt_ms``, ``delay_ms``, ``queued``, ``active`` plus the io.stat
-    #: counters (``rbytes``/``wbytes``/... and ``cost.*``).
+    #: counters (``rbytes``/``wbytes``/... and ``cost.*``) for this device.
     groups: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    dev: Optional[str] = None
 
     def to_json(self) -> str:
         payload = {
             "time": self.time,
             "device": self.device,
+            "dev": self.dev,
             "controller": self.controller,
             "period": self.period,
             "vrate": self.vrate,
@@ -53,6 +60,7 @@ class MonitorSnapshot:
             vrate=payload["vrate"],
             busy_level=payload["busy_level"],
             groups=payload.get("groups", {}),
+            dev=payload.get("dev"),
         )
 
 
@@ -69,8 +77,9 @@ _HEADER = (
 
 def render_snapshot(snapshot: MonitorSnapshot) -> str:
     """Render one snapshot in ``iocost_monitor`` style."""
+    dev = f"[{snapshot.dev}] " if snapshot.dev else ""
     lines = [
-        f"{snapshot.device} {snapshot.controller}  "
+        f"{snapshot.device} {dev}{snapshot.controller}  "
         f"t={snapshot.time:8.3f}s  per={snapshot.period * 1e3:.1f}ms  "
         f"vrate={snapshot.vrate * 100:7.2f}%  busy={snapshot.busy_level:+d}",
         _HEADER,

@@ -41,20 +41,25 @@ from typing import Any, Callable, Deque, Dict, Iterable, List, Optional, Sequenc
 
 #: The tracepoint catalogue: name -> declared field names.  ``time`` is
 #: implicit on every event (simulated seconds).
+#: Every device-scoped event also declares ``dev``, the ``maj:min`` id of
+#: the block device the event happened on, so multi-device traces can be
+#: demultiplexed.  Emitting it is optional (single-device unit rigs skip it).
 EVENT_CATALOGUE: Dict[str, Tuple[str, ...]] = {
-    "bio_submit": ("cgroup", "op", "nbytes", "sector", "flags", "prio"),
-    "bio_throttle": ("cgroup", "op", "nbytes", "reason", "controller"),
-    "bio_issue": ("cgroup", "op", "nbytes", "wait"),
+    "bio_submit": ("dev", "cgroup", "op", "nbytes", "sector", "flags", "prio"),
+    "bio_throttle": ("dev", "cgroup", "op", "nbytes", "reason", "controller"),
+    "bio_issue": ("dev", "cgroup", "op", "nbytes", "wait"),
     "bio_complete": (
-        "cgroup", "op", "nbytes", "sector", "flags", "prio",
+        "dev", "cgroup", "op", "nbytes", "sector", "flags", "prio",
         "submit_time", "latency", "device_latency",
     ),
-    "vrate_adjust": ("vrate", "busy_level", "saturated", "starved", "read_p", "write_p"),
-    "qos_period": ("period", "vrate", "active_groups", "budget_blocked"),
-    "donation_recalc": ("donors", "donated_total"),
-    "debt_pay": ("cgroup", "kind", "amount", "debt"),
+    "vrate_adjust": (
+        "dev", "vrate", "busy_level", "saturated", "starved", "read_p", "write_p",
+    ),
+    "qos_period": ("dev", "period", "vrate", "active_groups", "budget_blocked"),
+    "donation_recalc": ("dev", "donors", "donated_total"),
+    "debt_pay": ("dev", "cgroup", "kind", "amount", "debt"),
     "reclaim_scan": ("requester", "victim", "nbytes", "free_bytes"),
-    "swap_out": ("owner", "charged_to", "nbytes"),
+    "swap_out": ("dev", "owner", "charged_to", "nbytes"),
 }
 
 

@@ -1,13 +1,34 @@
 """A one-machine experiment testbed — the library's convenience facade.
 
-Bundles a simulator, a catalogued device, a controller, the Figure 1 cgroup
-hierarchy, and (optionally) the memory-management substrate, with helpers
-to attach workloads and measure per-cgroup throughput over run windows.
-Examples and the benchmark harness are written against this API.
+Bundles a simulator, one **or several** catalogued devices (each with its
+own block layer and controller instance), the Figure 1 cgroup hierarchy,
+and (optionally) the memory-management substrate, with helpers to attach
+workloads and measure per-cgroup throughput over run windows.  Examples and
+the benchmark harness are written against this API.
+
+Single-device construction is unchanged::
+
+    bed = Testbed(device="ssd_new", controller="iocost")
+
+Multi-device machines name their devices (``vda``-style) and may mix
+controllers, reproducing the kernel's per-device iocost instantiation::
+
+    bed = Testbed(
+        devices={"vda": "ssd_new", "vdb": "ebs_gp3"},
+        controllers={"vda": "iocost", "vdb": "iocost"},
+        mem_bytes=1 << 30,
+        swap_device="vdb",          # swap IO targets the cloud volume
+    )
+    bed.saturate(group, device="vda")
+
+All devices share one cgroup tree and one simulator clock; every per-device
+RNG stream is derived from the machine seed by component label, so adding a
+device never perturbs the streams of existing ones.
 """
 
 from __future__ import annotations
 
+import hashlib
 from typing import Dict, Optional, Union
 
 import numpy as np
@@ -15,6 +36,7 @@ import numpy as np
 from repro.block.device import Device, DeviceSpec
 from repro.block.layer import BlockLayer
 from repro.block.device_models import get_device_spec
+from repro.block.registry import DeviceRegistry
 from repro.cgroup import Cgroup, CgroupTree, make_meta_hierarchy
 from repro.controllers.base import IOController
 from repro.controllers.bfq import BFQController
@@ -36,6 +58,9 @@ from repro.workloads.synthetic import (
 )
 
 GB = 1024 ** 3
+
+#: Name given to the device of single-device constructions.
+DEFAULT_DEVICE_NAME = "vda"
 
 
 def make_controller(
@@ -69,7 +94,7 @@ def make_controller(
 
 
 class Testbed:
-    """One simulated machine: device + controller + cgroups (+ memory)."""
+    """One simulated machine: device(s) + controller(s) + cgroups (+ memory)."""
 
     __test__ = False  # not a pytest collection target despite the name
 
@@ -83,33 +108,110 @@ class Testbed:
         qos: Optional[QoSParams] = None,
         model_params: Optional[ModelParams] = None,
         protected: Optional[Dict[str, int]] = None,
+        devices: Optional[Dict[str, Union[str, DeviceSpec]]] = None,
+        controllers: Optional[Dict[str, Union[str, IOController]]] = None,
+        swap_device: Optional[str] = None,
         **controller_kwargs,
     ):
         self.sim = Simulator()
-        self.spec = device if isinstance(device, DeviceSpec) else get_device_spec(device)
-        self.device = Device(self.sim, self.spec, np.random.default_rng(seed))
-        if isinstance(controller, IOController):
-            self.controller = controller
-        else:
-            self.controller = make_controller(
-                controller, self.spec, qos=qos, model_params=model_params,
-                **controller_kwargs,
-            )
-        self.layer = BlockLayer(self.sim, self.device, self.controller)
+        self._seed = seed
+        self._workload_count = 0
         self.cgroups: CgroupTree = make_meta_hierarchy()
+        self.devices = DeviceRegistry()
+
+        if devices is None:
+            devices = {DEFAULT_DEVICE_NAME: device}
+            if controllers is None:
+                controllers = {DEFAULT_DEVICE_NAME: controller}
+        if controllers is None:
+            controllers = {}
+        if isinstance(controller, IOController) and len(devices) > 1:
+            missing = [name for name in devices if name not in controllers]
+            if missing:
+                raise ValueError(
+                    "a shared IOController instance cannot serve several "
+                    f"devices ({missing}); pass per-device instances via "
+                    "controllers={...}"
+                )
+
+        for name, spec_like in devices.items():
+            spec = spec_like if isinstance(spec_like, DeviceSpec) else get_device_spec(spec_like)
+            ctl_like = controllers.get(name, controller)
+            if isinstance(ctl_like, IOController):
+                ctl = ctl_like
+            else:
+                ctl = make_controller(
+                    ctl_like, spec, qos=qos, model_params=model_params,
+                    **controller_kwargs,
+                )
+            dev = Device(
+                self.sim, spec, self.rng_for(f"device:{name}"),
+                name=name, devno=self.devices.next_devno(),
+            )
+            layer = BlockLayer(self.sim, dev, ctl).observe_tree(self.cgroups)
+            self.devices.add(name, layer)
+
+        # Single-device aliases: the machine's first (data) device.
+        self.layer = self.devices.default
+        self.device = self.layer.device
+        self.controller = self.layer.controller
+        self.spec = self.device.spec
+
         self.mm: Optional[MemoryManager] = None
         if mem_bytes is not None:
+            swap_layer = (
+                self.devices.layer(swap_device) if swap_device is not None else self.layer
+            )
             self.mm = MemoryManager(
                 self.sim,
                 self.layer,
                 total_bytes=mem_bytes,
                 swap_bytes=swap_bytes if swap_bytes is not None else 16 * mem_bytes,
                 protected=protected,
+                swap_layer=swap_layer,
             )
-        self._seed = seed
-        self._seed_counter = seed + 1
+        elif swap_device is not None:
+            raise ValueError("swap_device requires mem_bytes")
         self._window_start = 0.0
-        self._window_snapshot: Dict[str, int] = {}
+        self._window_snapshot: Dict[str, Dict[str, int]] = {}
+
+    # -- RNG streams ---------------------------------------------------------
+
+    def rng_for(self, label: str) -> np.random.Generator:
+        """A dedicated RNG stream for one named component.
+
+        Streams are children of one ``SeedSequence`` rooted at the machine
+        seed, keyed by a hash of ``label`` — not by spawn order — so the
+        stream for ``device:vda`` is identical whether or not ``vdb``
+        exists (determinism across topology changes).
+        """
+        key = int.from_bytes(hashlib.sha256(label.encode()).digest()[:8], "big")
+        return np.random.default_rng(
+            np.random.SeedSequence(entropy=self._seed, spawn_key=(key,))
+        )
+
+    def _next_seed(self) -> np.random.SeedSequence:
+        """Seed material for the next attached workload (stable per ordinal)."""
+        self._workload_count += 1
+        key = int.from_bytes(
+            hashlib.sha256(f"workload:{self._workload_count}".encode()).digest()[:8],
+            "big",
+        )
+        return np.random.SeedSequence(entropy=self._seed, spawn_key=(key,))
+
+    # -- device lookup -------------------------------------------------------
+
+    def layer_of(self, device: Optional[str] = None) -> BlockLayer:
+        """The block layer of a named device (default: the data device)."""
+        if device is None:
+            return self.layer
+        return self.devices.layer(device)
+
+    def controller_of(self, device: Optional[str] = None) -> IOController:
+        return self.layer_of(device).controller
+
+    def spec_of(self, device: Optional[str] = None) -> DeviceSpec:
+        return self.layer_of(device).device.spec
 
     # -- cgroups ------------------------------------------------------------
 
@@ -117,56 +219,84 @@ class Testbed:
         return self.cgroups.get_or_create(path, weight=weight)
 
     def set_weight(self, cgroup: Cgroup, weight: int) -> None:
-        if isinstance(self.controller, IOCost):
-            self.controller.set_weight(cgroup, weight)
-        else:
-            cgroup.weight = weight
+        cgroup.weight = weight
+        for layer in self.devices.layers():
+            if isinstance(layer.controller, IOCost):
+                layer.controller.set_weight(cgroup, weight)
 
     # -- workload attachment ----------------------------------------------------
 
-    def _next_seed(self) -> int:
-        self._seed_counter += 1
-        return self._seed_counter
-
-    def saturate(self, cgroup: Cgroup, **kwargs) -> ClosedLoopWorkload:
+    def saturate(
+        self, cgroup: Cgroup, device: Optional[str] = None, **kwargs
+    ) -> ClosedLoopWorkload:
         kwargs.setdefault("seed", self._next_seed())
-        return ClosedLoopWorkload(self.sim, self.layer, cgroup, **kwargs).start()
+        return ClosedLoopWorkload(
+            self.sim, self.layer_of(device), cgroup, **kwargs
+        ).start()
 
-    def paced(self, cgroup: Cgroup, rate: float, **kwargs) -> PacedWorkload:
+    def paced(
+        self, cgroup: Cgroup, rate: float, device: Optional[str] = None, **kwargs
+    ) -> PacedWorkload:
         kwargs.setdefault("seed", self._next_seed())
-        return PacedWorkload(self.sim, self.layer, cgroup, rate, **kwargs).start()
+        return PacedWorkload(
+            self.sim, self.layer_of(device), cgroup, rate, **kwargs
+        ).start()
 
-    def think_time(self, cgroup: Cgroup, **kwargs) -> ThinkTimeWorkload:
+    def think_time(
+        self, cgroup: Cgroup, device: Optional[str] = None, **kwargs
+    ) -> ThinkTimeWorkload:
         kwargs.setdefault("seed", self._next_seed())
-        return ThinkTimeWorkload(self.sim, self.layer, cgroup, **kwargs).start()
+        return ThinkTimeWorkload(
+            self.sim, self.layer_of(device), cgroup, **kwargs
+        ).start()
 
-    def latency_governed(self, cgroup: Cgroup, **kwargs) -> LatencyGovernedWorkload:
+    def latency_governed(
+        self, cgroup: Cgroup, device: Optional[str] = None, **kwargs
+    ) -> LatencyGovernedWorkload:
         kwargs.setdefault("seed", self._next_seed())
-        return LatencyGovernedWorkload(self.sim, self.layer, cgroup, **kwargs).start()
+        return LatencyGovernedWorkload(
+            self.sim, self.layer_of(device), cgroup, **kwargs
+        ).start()
 
     # -- execution & measurement ---------------------------------------------------
 
     def run(self, duration: float) -> None:
         """Advance the simulation; starts a fresh measurement window."""
         self._window_start = self.sim.now
-        self._window_snapshot = self.layer.snapshot_counts()
+        self._window_snapshot = {
+            name: layer.snapshot_counts() for name, layer in self.devices.items()
+        }
         self.sim.run(until=self.sim.now + duration)
 
     @property
     def window_duration(self) -> float:
         return self.sim.now - self._window_start
 
-    def iops(self, cgroup: Cgroup) -> float:
-        """Completed IO/s for the cgroup over the last ``run`` window."""
+    def iops(self, cgroup: Cgroup, device: Optional[str] = None) -> float:
+        """Completed IO/s for the cgroup over the last ``run`` window.
+
+        Sums over every device unless ``device`` names one.
+        """
         duration = self.window_duration
         if duration <= 0:
             raise ValueError("no completed run window")
-        done = self.layer.iops_of(cgroup, since_counts=self._window_snapshot)
+        names = [device] if device is not None else list(self.devices)
+        done = 0
+        for name in names:
+            layer = self.devices.layer(name)
+            done += layer.iops_of(
+                cgroup, since_counts=self._window_snapshot.get(name)
+            )
         return done / duration
 
-    def latency_percentile(self, cgroup: Cgroup, pct: float) -> Optional[float]:
-        return self.layer.cgroup_window(cgroup.path).percentile(self.sim.now, pct)
+    def latency_percentile(
+        self, cgroup: Cgroup, pct: float, device: Optional[str] = None
+    ) -> Optional[float]:
+        return self.layer_of(device).cgroup_window(cgroup.path).percentile(
+            self.sim.now, pct
+        )
 
     def detach(self) -> None:
-        """Tear down controller timers (end of experiment)."""
-        self.controller.detach()
+        """Tear down every controller's timers (end of experiment)."""
+        for layer in self.devices.layers():
+            layer.controller.detach()

@@ -3,24 +3,27 @@
 The kernel ships ``iocost_monitor.py``, a drgn script that walks live kernel
 memory once per period and prints device state (vrate%, busy level) plus one
 row per cgroup (hweight, usage, debt, delay).  :class:`Monitor` is the
-simulation equivalent: it registers a periodic simulator callback, captures
-a :class:`~repro.obs.snapshot.MonitorSnapshot` each interval from the
-controller's introspection surface and the :class:`~repro.obs.iostat.IOStat`
-counters, optionally streaming them as JSONL, and renders them in the same
-tabular style.
+simulation equivalent: it registers a periodic simulator callback and, each
+interval, captures one :class:`~repro.obs.snapshot.MonitorSnapshot` **per
+monitored device** from that device's controller introspection surface and
+its per-device :class:`~repro.obs.iostat.IOStat` counters, optionally
+streaming them as JSONL, and renders them in the same tabular style.
 
 Library use::
 
-    bed = Testbed("ssd_new", "iocost")
+    bed = Testbed(devices={"vda": "ssd_new", "vdb": "ebs_gp3"})
     with open("run.jsonl", "w") as out:
         monitor = Monitor(bed, stream=out).start()
         bed.sim.run(until=30.0)
         monitor.stop()
-    print(monitor.render())
+    print(monitor.render(device="vdb"))      # one stream per device
+
+``Monitor(bed, device="vdb")`` restricts the monitor to one named device;
+single-device testbeds behave exactly as before.
 
 CLI use (re-render a saved stream)::
 
-    python -m repro.tools.monitor run.jsonl --last 3
+    python -m repro.tools.monitor run.jsonl --last 3 [--device vdb|8:16]
 
 The monitor is strictly read-only: attaching it never changes simulation
 results (guarded by ``tests/integration/test_monitor.py``).
@@ -30,12 +33,12 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import Dict, List, Optional, TextIO
+from typing import Dict, List, Optional, TextIO, Tuple
 
 from repro.obs.iostat import IOStat
 from repro.obs.snapshot import MonitorSnapshot, load_snapshots, render_snapshots
 
-#: Fallback sampling interval when the controller has no planning period.
+#: Fallback sampling interval when no controller has a planning period.
 DEFAULT_INTERVAL = 0.05
 
 
@@ -44,9 +47,12 @@ class Monitor:
 
     ``bed`` needs ``sim``, ``layer``, ``controller`` and ``cgroups``
     attributes — a :class:`repro.testbed.Testbed` or anything shaped like
-    one.  The sampling ``interval`` defaults to the controller's QoS period
-    when it has one (so snapshots land once per planning period, right after
-    the plan tick, which the event heap orders first at equal timestamps).
+    one.  Multi-device testbeds expose a ``devices`` registry, in which
+    case every device is monitored (or just ``device``, when named).  The
+    sampling ``interval`` defaults to the shortest QoS period among the
+    monitored controllers (so snapshots land once per planning period,
+    right after the plan tick, which the event heap orders first at equal
+    timestamps).
     """
 
     def __init__(
@@ -54,23 +60,48 @@ class Monitor:
         bed,
         interval: Optional[float] = None,
         stream: Optional[TextIO] = None,
+        device: Optional[str] = None,
     ) -> None:
         self.sim = bed.sim
-        self.layer = bed.layer
-        self.controller = bed.controller
         self.cgroups = bed.cgroups
-        qos = getattr(self.controller, "qos", None)
-        self.interval = interval if interval is not None else (
-            qos.period if qos is not None else DEFAULT_INTERVAL
-        )
-        if self.interval <= 0:
+        registry = getattr(bed, "devices", None)
+        #: (name, layer) pairs under observation.
+        self._targets: List[Tuple[str, object]] = []
+        if registry is not None and len(registry) > 0:
+            if device is not None:
+                self._targets = [(device, registry.layer(device))]
+            else:
+                self._targets = list(registry.items())
+        else:
+            if device is not None:
+                raise ValueError("bed has no device registry to look up a name in")
+            self._targets = [(bed.layer.device.name, bed.layer)]
+        # Single-device conveniences (first monitored device).
+        self.layer = self._targets[0][1]
+        self.controller = self.layer.controller
+
+        if interval is None:
+            periods = [
+                layer.controller.qos.period
+                for _, layer in self._targets
+                if getattr(layer.controller, "qos", None) is not None
+            ]
+            interval = min(periods) if periods else DEFAULT_INTERVAL
+        if interval <= 0:
             raise ValueError("monitor interval must be positive")
+        self.interval = interval
         self.stream = stream
-        self.iostat = IOStat(self.cgroups, controller=self.controller)
+        self.iostat = IOStat(
+            self.cgroups,
+            controllers={
+                layer.dev: layer.controller for _, layer in self._targets
+            },
+        )
         self.snapshots: List[MonitorSnapshot] = []
         self._timer = None
-        # Previous cumulative counters, for per-interval deltas.
-        self._prev: Dict[str, Dict[str, float]] = {}
+        # Previous cumulative counters, for per-interval deltas, keyed by
+        # (device id, cgroup path).
+        self._prev: Dict[Tuple[str, str], Dict[str, float]] = {}
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -88,24 +119,38 @@ class Monitor:
     # -- capture ------------------------------------------------------------
 
     def _tick(self) -> None:
-        snapshot = self.capture()
-        self.snapshots.append(snapshot)
-        if self.stream is not None:
-            self.stream.write(snapshot.to_json() + "\n")
+        for snapshot in self.capture_all():
+            self.snapshots.append(snapshot)
+            if self.stream is not None:
+                self.stream.write(snapshot.to_json() + "\n")
         self._timer = self.sim.schedule(self.interval, self._tick)
 
+    def capture_all(self) -> List[MonitorSnapshot]:
+        """One snapshot per monitored device, right now."""
+        per_device = self.iostat.device_snapshot()
+        return [
+            self._capture_device(layer, per_device) for _, layer in self._targets
+        ]
+
     def capture(self) -> MonitorSnapshot:
-        """Take one snapshot right now (also usable without :meth:`start`)."""
-        vrate = getattr(self.controller, "vrate", 1.0)
-        vrate_ctl = getattr(self.controller, "vrate_ctl", None)
+        """Snapshot the first monitored device (single-device shorthand)."""
+        return self.capture_all()[0]
+
+    def _capture_device(self, layer, per_device) -> MonitorSnapshot:
+        controller = layer.controller
+        dev = layer.dev
+        vrate = getattr(controller, "vrate", 1.0)
+        vrate_ctl = getattr(controller, "vrate_ctl", None)
         busy = vrate_ctl.busy_level if vrate_ctl is not None else 0
-        io_snapshot = self.iostat.snapshot()
 
         groups: Dict[str, Dict[str, float]] = {}
-        for path, entry in io_snapshot.items():
+        for path, devices in per_device.items():
+            entry = devices.get(dev)
+            if entry is None:
+                continue
             row = dict(entry)
             cgroup = self.cgroups.lookup(path) if path in self.cgroups else None
-            stat = getattr(self.controller, "stat", None)
+            stat = getattr(controller, "stat", None)
             if stat is not None and cgroup is not None:
                 ctl = stat(cgroup)
                 row["active"] = 1.0 if ctl.get("active") else 0.0
@@ -115,7 +160,7 @@ class Monitor:
                 row["debt_ms"] = float(ctl.get("debt_walltime", 0.0)) * 1e3
             else:
                 row["weight"] = float(cgroup.weight) if cgroup is not None else 0.0
-            prev = self._prev.get(path, {})
+            prev = self._prev.get((dev, path), {})
             usage_delta = row.get("cost.usage", 0.0) - prev.get("cost.usage", 0.0)
             row["usage_delta"] = usage_delta
             # Usage as percent of device time over the sampling interval.
@@ -127,23 +172,40 @@ class Monitor:
                 row.get("cost.indelay", 0.0) - prev.get("cost.indelay", 0.0)
             ) * 1e3
             groups[path] = row
-        self._prev = {path: dict(row) for path, row in groups.items()}
+        for path, row in groups.items():
+            self._prev[(dev, path)] = dict(row)
 
         return MonitorSnapshot(
             time=self.sim.now,
-            device=self.layer.device.spec.name,
-            controller=self.controller.name,
+            device=layer.device.spec.name,
+            controller=controller.name,
             period=self.interval,
             vrate=vrate,
             busy_level=busy,
             groups=groups,
+            dev=dev,
         )
 
-    # -- rendering ----------------------------------------------------------
+    # -- selection & rendering ----------------------------------------------
 
-    def render(self, last: Optional[int] = None) -> str:
+    def snapshots_for(self, device: str) -> List[MonitorSnapshot]:
+        """This device's snapshot stream (by registered name or devno)."""
+        devnos = {
+            layer.dev for name, layer in self._targets if name == device
+        }
+        return [
+            snap
+            for snap in self.snapshots
+            if snap.dev == device or snap.dev in devnos
+        ]
+
+    def render(self, last: Optional[int] = None, device: Optional[str] = None) -> str:
         """Render captured snapshots ``iocost_monitor``-style."""
-        snapshots = self.snapshots if last is None else self.snapshots[-last:]
+        snapshots = (
+            self.snapshots if device is None else self.snapshots_for(device)
+        )
+        if last is not None:
+            snapshots = snapshots[-last:]
         return render_snapshots(snapshots)
 
 
@@ -158,6 +220,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--last", type=int, default=None, metavar="N",
         help="only render the last N snapshots",
     )
+    parser.add_argument(
+        "--device", default=None, metavar="DEV",
+        help="only render snapshots of this device (spec name or maj:min id)",
+    )
     args = parser.parse_args(argv)
     try:
         with open(args.trace) as stream:
@@ -168,6 +234,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     except (ValueError, KeyError) as exc:
         print(f"{args.trace}: not a monitor JSONL stream ({exc})", file=sys.stderr)
         return 1
+    if args.device is not None:
+        snapshots = [
+            snap
+            for snap in snapshots
+            if args.device in (snap.dev, snap.device)
+        ]
     if args.last is not None:
         snapshots = snapshots[-args.last:]
     if not snapshots:
