@@ -81,7 +81,7 @@ def measure() -> OverheadReport:
     checks = count_emissions(run_fixed)     # tracing enabled, same run
     cost = disabled_check_cost()
     return OverheadReport(
-        wall_seconds=wall,
+        wall_sec=wall,
         events_processed=events_processed,
         trace_checks=checks,
         check_cost=cost,
@@ -96,7 +96,7 @@ def test_obs_disabled_overhead(benchmark):
         "(tracing disabled)",
         ["metric", "value"],
     )
-    table.add_row("wall time", f"{report.wall_seconds * 1e3:.1f} ms")
+    table.add_row("wall time", f"{report.wall_sec * 1e3:.1f} ms")
     table.add_row("sim events", format_si(report.events_processed))
     table.add_row("guard checks", format_si(report.trace_checks))
     table.add_row("checks / sim event", f"{report.checks_per_event:.2f}")
@@ -105,7 +105,7 @@ def test_obs_disabled_overhead(benchmark):
     table.print()
 
     benchmark.extra_info.update(
-        wall_ms=round(report.wall_seconds * 1e3, 2),
+        wall_ms=round(report.wall_sec * 1e3, 2),
         guard_checks=report.trace_checks,
         check_cost_ns=round(report.check_cost * 1e9, 2),
         overhead_fraction=round(report.overhead_fraction, 6),

@@ -167,7 +167,8 @@ class BlockLayer:
 
         self.controller.on_complete(bio)
         self.controller.pump()
-        assert bio.completion is not None
+        if bio.completion is None:
+            raise BlockLayerError("bio completed without passing submit()")
         bio.completion.fire(bio)
 
     def cgroup_window(self, path: str) -> LatencyWindow:
@@ -194,7 +195,8 @@ class BlockLayer:
         return self
 
     def _on_cgroup_removed(self, cgroup: Cgroup) -> None:
-        assert cgroup.parent is not None  # the root cannot be removed
+        if cgroup.parent is None:  # the root cannot be removed
+            raise BlockLayerError("removal hook fired for the root cgroup")
         path, parent = cgroup.path, cgroup.parent.path
         count = self.completed_by_cgroup.pop(path, 0)
         if count:

@@ -271,11 +271,10 @@ class CgroupTree:
     def remove(self, path: str) -> None:
         """Remove a leaf cgroup (children must be removed first)."""
         node = self.lookup(path)
-        if node.is_root:
+        if node.parent is None:  # is_root, spelled so the check narrows
             raise CgroupError("cannot remove the root")
         if node.children:
             raise CgroupError(f"cgroup {path!r} still has children")
-        assert node.parent is not None
         for hook in self._remove_hooks:
             hook(node)
         del node.parent.children[node.name]

@@ -33,9 +33,9 @@ class _Bucket:
 
     __slots__ = ("rate", "tokens", "burst", "last")
 
-    def __init__(self, rate: float, burst_seconds: float = 0.02):
+    def __init__(self, rate: float, burst_sec: float = 0.02):
         self.rate = rate
-        self.burst = rate * burst_seconds
+        self.burst = rate * burst_sec
         self.tokens = self.burst
         self.last = 0.0
 

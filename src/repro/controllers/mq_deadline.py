@@ -13,6 +13,7 @@ from collections import deque
 from typing import Deque
 
 from repro.block.bio import Bio
+from repro.block.layer import BlockLayerError
 from repro.controllers.base import Features, IOController
 
 
@@ -54,7 +55,8 @@ class MQDeadlineController(IOController):
         if not self._writes:
             return False
         head = self._writes[0]
-        assert head.submit_time is not None
+        if head.submit_time is None:
+            raise BlockLayerError("queued bio never passed BlockLayer.submit()")
         return self.layer.sim.now - head.submit_time >= self.WRITE_EXPIRE
 
     def _pick(self) -> Bio:

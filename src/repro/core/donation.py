@@ -98,7 +98,8 @@ def compute_donations(
             node = node.parent
 
     root = tree.root
-    assert root is not None
+    if root is None:
+        raise ValueError("donation pass requires a rooted weight tree")
     result.donated_total = d[root] - d_prime[root]
 
     # Post-donation hweights, computed top-down along donor paths.

@@ -28,6 +28,10 @@ from repro.cgroup import Cgroup
 from repro.sim import Signal, Simulator
 
 
+class JournalError(RuntimeError):
+    """Raised on journal protocol violations (internal invariant breaks)."""
+
+
 @dataclass
 class JournalStats:
     commits: int = 0
@@ -86,7 +90,8 @@ class Journal:
         """
         if self._commit_in_progress:
             signal = self._commit_done
-            assert signal is not None
+            if signal is None:
+                raise JournalError("commit in progress without a done signal")
             if not signal.fired:
                 yield signal
         if any(owner is cgroup for owner, _ in self._pending):

@@ -28,7 +28,7 @@ Usage::
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, Optional
+from typing import TYPE_CHECKING, Dict, Optional, Tuple
 
 from repro.cgroup import Cgroup, CgroupTree, IOStats
 
@@ -64,7 +64,7 @@ def _add(into: Dict[str, float], other: Dict[str, float]) -> None:
         into[key] += other[key]
 
 
-def _devno_sort_key(devno: str):
+def _devno_sort_key(devno: str) -> Tuple[int, int]:
     major, _, minor = devno.partition(":")
     try:
         return (int(major), int(minor))
@@ -108,7 +108,8 @@ class IOStat:
     # -- removal folding -----------------------------------------------------
 
     def _on_remove(self, cgroup: Cgroup) -> None:
-        assert cgroup.parent is not None  # the root cannot be removed
+        if cgroup.parent is None:  # the root cannot be removed
+            raise ValueError("removal hook fired for the root cgroup")
         folded: Dict[str, Dict[str, float]] = {
             dev: _flat(stats) for dev, stats in cgroup.stats.devices()
         }

@@ -77,7 +77,7 @@ def count_emissions(
     registry = TRACE if registry is None else registry
     counter = {"n": 0}
 
-    def count(_event) -> None:
+    def count(_event: object) -> None:
         counter["n"] += 1
 
     subscription = registry.subscribe(count)
@@ -92,16 +92,16 @@ def count_emissions(
 class OverheadReport:
     """Derived overhead numbers for one instrumented run."""
 
-    wall_seconds: float
+    wall_sec: float
     events_processed: int
     trace_checks: int
     check_cost: float
 
     @property
     def events_per_second(self) -> float:
-        if self.wall_seconds <= 0:
+        if self.wall_sec <= 0:
             return 0.0
-        return self.events_processed / self.wall_seconds
+        return self.events_processed / self.wall_sec
 
     @property
     def checks_per_event(self) -> float:
@@ -112,13 +112,13 @@ class OverheadReport:
     @property
     def overhead_fraction(self) -> float:
         """Fraction of the run spent on disabled-tracepoint flag checks."""
-        if self.wall_seconds <= 0:
+        if self.wall_sec <= 0:
             return 0.0
-        return (self.trace_checks * self.check_cost) / self.wall_seconds
+        return (self.trace_checks * self.check_cost) / self.wall_sec
 
     def describe(self) -> str:
         return (
-            f"wall={self.wall_seconds * 1e3:.1f}ms "
+            f"wall={self.wall_sec * 1e3:.1f}ms "
             f"events={self.events_processed} "
             f"({self.events_per_second:,.0f}/s) "
             f"checks={self.trace_checks} "

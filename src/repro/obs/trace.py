@@ -16,7 +16,8 @@ simulator's equivalent:
   :class:`~repro.block.trace.TraceReplayer`.
 
 Events are *typed*: each tracepoint declares its field names and emission
-rejects unknown fields, so subscribers can rely on the schema.
+rejects unknown fields *and* missing required fields (everything declared
+except :data:`OPTIONAL_FIELDS`), so subscribers can rely on the schema.
 
 The event catalogue::
 
@@ -37,7 +38,19 @@ from __future__ import annotations
 import json
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Callable, Deque, Dict, Iterable, List, Optional, Sequence, TextIO, Tuple
+from typing import (
+    Any,
+    Callable,
+    Deque,
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    TextIO,
+    Tuple,
+)
 
 #: The tracepoint catalogue: name -> declared field names.  ``time`` is
 #: implicit on every event (simulated seconds).
@@ -62,9 +75,17 @@ EVENT_CATALOGUE: Dict[str, Tuple[str, ...]] = {
     "swap_out": ("dev", "owner", "charged_to", "nbytes"),
 }
 
+#: Declared fields that :meth:`TracePoint.emit` may omit.  ``dev`` is the
+#: only one: single-device unit rigs predate device ids and legitimately
+#: emit without it.  Every other declared field is required — an emit that
+#: skips one raises :class:`TraceError`, and the ``trace-catalogue`` simlint
+#: rule enforces the same contract statically.
+OPTIONAL_FIELDS: FrozenSet[str] = frozenset({"dev"})
+
 
 class TraceError(ValueError):
-    """Raised for unknown events or fields outside a point's schema."""
+    """Raised for unknown events, unknown fields, or missing required
+    fields relative to a point's schema."""
 
 
 @dataclass(frozen=True)
@@ -95,11 +116,13 @@ class TracePoint:
     hot paths read it once and skip everything else while it is False.
     """
 
-    __slots__ = ("name", "fields", "enabled", "subscribers")
+    __slots__ = ("name", "fields", "required", "enabled", "subscribers")
 
     def __init__(self, name: str, fields: Sequence[str]):
         self.name = name
         self.fields = tuple(fields)
+        #: Fields every emit must supply (declared minus OPTIONAL_FIELDS).
+        self.required = frozenset(fields) - OPTIONAL_FIELDS
         self.enabled = False
         self.subscribers: List[Callable[[TraceEvent], None]] = []
 
@@ -109,6 +132,12 @@ class TracePoint:
         if unknown:
             raise TraceError(
                 f"tracepoint {self.name!r} has no field(s) {sorted(unknown)}"
+            )
+        missing = self.required - set(fields)
+        if missing:
+            raise TraceError(
+                f"tracepoint {self.name!r} emitted without required "
+                f"field(s) {sorted(missing)}"
             )
         event = TraceEvent(self.name, time, fields)
         for subscriber in self.subscribers:

@@ -1,0 +1,8 @@
+"""Module entry point: ``python -m repro.tools.simlint [paths]``."""
+
+import sys
+
+from repro.tools.simlint.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,271 @@
+"""simlint rule engine: findings, registry, pragmas, baseline, drivers.
+
+simlint is the repo's contract checker.  The simulator's correctness rests
+on conventions a type checker cannot see — simulated time must never mix
+with wall-clock time, randomness must come from seeded streams, names carry
+their units, tracepoint emits match the catalogue.  Each convention is a
+:class:`Rule` over Python's ``ast``; this module supplies the machinery
+around the rules:
+
+* :class:`Finding` — one diagnostic, rendered ``file:line:col rule message``.
+* :func:`rule` — registration decorator populating :data:`RULES`.
+* pragma suppression — ``# simlint: disable=<rule>[,<rule>...]`` on the
+  flagged line (or on the line above, for lines that are themselves
+  generated or too long) silences a finding.
+* baseline files — grandfathered findings listed one fingerprint per line;
+  anything in the baseline is reported only with ``--show-baselined``.
+* :func:`lint_source` / :func:`lint_paths` — the drivers the CLI and tests
+  share.
+"""
+
+from __future__ import annotations
+
+import ast
+import fnmatch
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One diagnostic emitted by a rule."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}:{self.col} {self.rule} {self.message}"
+
+    @property
+    def fingerprint(self) -> str:
+        """Line-number-free identity used by baseline files.
+
+        Dropping ``line``/``col`` keeps a baseline stable across unrelated
+        edits to the same file; two identical findings in one file share a
+        fingerprint and are counted as a multiset.
+        """
+        return f"{self.path}|{self.rule}|{self.message}"
+
+
+@dataclass
+class LintConfig:
+    """Knobs shared by every rule.
+
+    ``wallclock_allow`` holds fnmatch patterns (matched against the posix
+    form of the file path) exempt from ``no-wallclock``: CLI front-ends may
+    measure real time, and the overhead profiler exists to measure it.
+    """
+
+    select: Optional[Sequence[str]] = None
+    disable: Sequence[str] = ()
+    wallclock_allow: Sequence[str] = (
+        "*/repro/tools/*",
+        "*/repro/obs/overhead.py",
+    )
+    #: Tracepoint catalogue for the trace-catalogue rule: name -> fields.
+    #: ``None`` means "load from repro.obs.trace at first use".
+    catalogue: Optional[Mapping[str, Tuple[str, ...]]] = None
+    #: Fields emit() may omit (mirrors repro.obs.trace.OPTIONAL_FIELDS).
+    optional_fields: Optional[frozenset] = None
+
+    def rule_names(self) -> List[str]:
+        names = list(RULES) if self.select is None else list(self.select)
+        return [name for name in names if name not in set(self.disable)]
+
+
+class FileContext:
+    """Everything a rule may need about the file under analysis."""
+
+    def __init__(self, path: str, source: str, config: LintConfig):
+        self.path = path
+        self.posix_path = Path(path).as_posix()
+        self.source = source
+        self.lines = source.splitlines()
+        self.config = config
+
+    def path_matches(self, patterns: Sequence[str]) -> bool:
+        return any(fnmatch.fnmatch(self.posix_path, pat) for pat in patterns)
+
+
+RuleFn = Callable[[ast.Module, FileContext], Iterable[Finding]]
+
+
+@dataclass(frozen=True)
+class Rule:
+    """A registered check: a name, a one-liner, and the AST visitor."""
+
+    name: str
+    description: str
+    check: RuleFn
+
+
+#: The global rule registry, populated by the :func:`rule` decorator at
+#: import time (importing ``repro.tools.simlint`` pulls in every rule
+#: module).
+RULES: Dict[str, Rule] = {}
+
+
+def rule(name: str, description: str) -> Callable[[RuleFn], RuleFn]:
+    """Register ``fn`` as the checker for rule ``name``."""
+
+    def register(fn: RuleFn) -> RuleFn:
+        if name in RULES:
+            raise ValueError(f"duplicate simlint rule {name!r}")
+        RULES[name] = Rule(name, description, fn)
+        return fn
+
+    return register
+
+
+# -- pragma suppression ------------------------------------------------------
+
+# The pragma may sit anywhere inside a comment, so a one-line justification
+# can precede it: ``# narrowing only - simlint: disable=no-bare-assert``.
+_PRAGMA_RE = re.compile(r"#.*\bsimlint:\s*disable=([A-Za-z0-9_,\- ]+)")
+
+
+def _pragmas(lines: Sequence[str]) -> Dict[int, frozenset]:
+    """Map 1-based line number -> rule names disabled on that line."""
+    disabled: Dict[int, frozenset] = {}
+    for lineno, text in enumerate(lines, start=1):
+        match = _PRAGMA_RE.search(text)
+        if match is None:
+            continue
+        names = frozenset(
+            name.strip() for name in match.group(1).split(",") if name.strip()
+        )
+        disabled[lineno] = names
+    return disabled
+
+
+def _suppressed(finding: Finding, pragmas: Mapping[int, frozenset]) -> bool:
+    for lineno in (finding.line, finding.line - 1):
+        names = pragmas.get(lineno)
+        if names is not None and (finding.rule in names or "all" in names):
+            return True
+    return False
+
+
+# -- baseline files ----------------------------------------------------------
+
+def load_baseline(path: Path) -> Dict[str, int]:
+    """Read a baseline file into a fingerprint -> count multiset.
+
+    Lines starting with ``#`` and blank lines are ignored, so a baseline
+    can carry a header explaining why each grandfathered finding exists.
+    """
+    counts: Dict[str, int] = {}
+    for line in path.read_text().splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        counts[line] = counts.get(line, 0) + 1
+    return counts
+
+
+def write_baseline(path: Path, findings: Sequence[Finding]) -> None:
+    """Write the current findings as the new grandfathered set."""
+    header = (
+        "# simlint baseline — grandfathered findings, one fingerprint per line.\n"
+        "# An empty baseline means the tree is clean; new findings fail the lint.\n"
+    )
+    body = "".join(
+        finding.fingerprint + "\n" for finding in sorted(findings)
+    )
+    path.write_text(header + body)
+
+
+def apply_baseline(
+    findings: Sequence[Finding], baseline: Mapping[str, int]
+) -> Tuple[List[Finding], List[Finding]]:
+    """Split findings into (new, baselined) against the multiset."""
+    remaining = dict(baseline)
+    new: List[Finding] = []
+    old: List[Finding] = []
+    for finding in findings:
+        count = remaining.get(finding.fingerprint, 0)
+        if count > 0:
+            remaining[finding.fingerprint] = count - 1
+            old.append(finding)
+        else:
+            new.append(finding)
+    return new, old
+
+
+# -- drivers -----------------------------------------------------------------
+
+class LintError(RuntimeError):
+    """Raised for unusable input (bad path, unknown rule, syntax error)."""
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    config: Optional[LintConfig] = None,
+) -> List[Finding]:
+    """Run every enabled rule over one source string."""
+    config = LintConfig() if config is None else config
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        raise LintError(f"{path}: cannot parse: {exc}") from exc
+    ctx = FileContext(path, source, config)
+    pragmas = _pragmas(ctx.lines)
+    findings: List[Finding] = []
+    for name in config.rule_names():
+        try:
+            checker = RULES[name]
+        except KeyError:
+            raise LintError(f"unknown simlint rule {name!r}") from None
+        for finding in checker.check(tree, ctx):
+            if not _suppressed(finding, pragmas):
+                findings.append(finding)
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings
+
+
+def iter_python_files(paths: Sequence[str]) -> Iterator[Path]:
+    """Expand files and directories into a sorted stream of ``.py`` files."""
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            yield from sorted(path.rglob("*.py"))
+        elif path.is_file():
+            yield path
+        else:
+            raise LintError(f"no such file or directory: {raw}")
+
+
+def lint_paths(
+    paths: Sequence[str], config: Optional[LintConfig] = None
+) -> List[Finding]:
+    """Lint every ``.py`` file under ``paths``; findings sorted by location."""
+    config = LintConfig() if config is None else config
+    findings: List[Finding] = []
+    for file_path in iter_python_files(paths):
+        findings.extend(
+            lint_source(file_path.read_text(), str(file_path), config)
+        )
+    return findings
+
+
+__all__ = [
+    "Finding",
+    "LintConfig",
+    "LintError",
+    "FileContext",
+    "Rule",
+    "RULES",
+    "rule",
+    "lint_source",
+    "lint_paths",
+    "iter_python_files",
+    "load_baseline",
+    "write_baseline",
+    "apply_baseline",
+]

@@ -1,0 +1,243 @@
+"""The trace-catalogue rule: tracepoint names and emit() fields, statically.
+
+``TracePoint.emit`` validates its fields at runtime — but only on code
+paths that run *while tracing is enabled*, which CI never exercises for
+every site.  A typo'd event name or field therefore survives until someone
+attaches a monitor in anger.  This rule closes that gap by resolving every
+tracepoint reference against ``EVENT_CATALOGUE`` in ``repro/obs/trace.py``
+at lint time:
+
+* ``registry.point("name")`` / ``REGISTRY.points["name"]`` lookups and
+  ``subscribe(..., events=[...])`` literals must name catalogued events;
+* ``<point>.emit(now, field=...)`` keyword sets must be a subset of the
+  event's declared fields **and** must supply every required field
+  (required = declared minus ``OPTIONAL_FIELDS``), matching the runtime
+  contract exactly.
+
+The binding between a variable and its event is recovered from the
+idiomatic cache assignments (``self._tp_submit = TRACE.points["bio_submit"]``
+or module-level ``_TP_X = TRACE.point("x")``); emits through bindings the
+rule cannot resolve are skipped, never guessed.
+
+The catalogue itself is read from the ``repro/obs/trace.py`` *source* (AST
+literal extraction), not imported — the linter stays usable on a tree too
+broken to import.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+from repro.tools.simlint.core import FileContext, Finding, LintError, rule
+
+#: Where the catalogue lives relative to this file
+#: (``repro/tools/simlint/`` -> ``repro/obs/trace.py``).
+_TRACE_SOURCE = Path(__file__).resolve().parents[2] / "obs" / "trace.py"
+
+_CATALOGUE_CACHE: Optional[Tuple[Dict[str, Tuple[str, ...]], frozenset]] = None
+
+
+def _literal_set(node: ast.expr) -> Optional[frozenset]:
+    """Evaluate ``frozenset({...})`` / set / tuple / list literals."""
+    if isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Name) and func.id == "frozenset" and node.args:
+            node = node.args[0]
+        else:
+            return None
+    try:
+        value = ast.literal_eval(node)
+    except (ValueError, SyntaxError):
+        return None
+    return frozenset(value)
+
+
+def load_catalogue(
+    source_path: Optional[Path] = None,
+) -> Tuple[Dict[str, Tuple[str, ...]], frozenset]:
+    """Extract (EVENT_CATALOGUE, OPTIONAL_FIELDS) from trace.py's source."""
+    global _CATALOGUE_CACHE
+    if source_path is None and _CATALOGUE_CACHE is not None:
+        return _CATALOGUE_CACHE
+    path = _TRACE_SOURCE if source_path is None else source_path
+    try:
+        tree = ast.parse(path.read_text(), filename=str(path))
+    except (OSError, SyntaxError) as exc:
+        raise LintError(f"cannot load tracepoint catalogue from {path}: {exc}")
+    catalogue: Optional[Dict[str, Tuple[str, ...]]] = None
+    optional: frozenset = frozenset()
+    for node in tree.body:
+        targets: List[ast.expr] = []
+        value: Optional[ast.expr] = None
+        if isinstance(node, ast.Assign):
+            targets, value = node.targets, node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets, value = [node.target], node.value
+        for target in targets:
+            if not isinstance(target, ast.Name) or value is None:
+                continue
+            if target.id == "EVENT_CATALOGUE":
+                raw = ast.literal_eval(value)
+                catalogue = {name: tuple(fields) for name, fields in raw.items()}
+            elif target.id == "OPTIONAL_FIELDS":
+                extracted = _literal_set(value)
+                if extracted is not None:
+                    optional = extracted
+    if catalogue is None:
+        raise LintError(f"no EVENT_CATALOGUE literal found in {path}")
+    result = (catalogue, optional)
+    if source_path is None:
+        _CATALOGUE_CACHE = result
+    return result
+
+
+def _config_catalogue(
+    ctx: FileContext,
+) -> Tuple[Mapping[str, Tuple[str, ...]], frozenset]:
+    if ctx.config.catalogue is not None:
+        optional = ctx.config.optional_fields
+        return ctx.config.catalogue, frozenset() if optional is None else optional
+    return load_catalogue()
+
+
+def _const_str(node: ast.expr) -> Optional[str]:
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    return None
+
+
+def _event_of(node: ast.expr) -> Optional[Tuple[str, ast.AST]]:
+    """If ``node`` is a tracepoint lookup with a literal name, return
+    (event_name, node-to-report-on)."""
+    if isinstance(node, ast.Subscript):
+        value = node.value
+        if isinstance(value, ast.Attribute) and value.attr == "points":
+            name = _const_str(node.slice)
+            if name is not None:
+                return name, node
+    if isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Attribute) and func.attr == "point" and node.args:
+            name = _const_str(node.args[0])
+            if name is not None:
+                return name, node
+    return None
+
+
+def _subscribe_events(node: ast.Call) -> Iterable[Tuple[str, ast.AST]]:
+    func = node.func
+    if not (isinstance(func, ast.Attribute) and func.attr == "subscribe"):
+        return
+    for keyword in node.keywords:
+        if keyword.arg != "events":
+            continue
+        if isinstance(keyword.value, (ast.List, ast.Tuple, ast.Set)):
+            for element in keyword.value.elts:
+                name = _const_str(element)
+                if name is not None:
+                    yield name, element
+
+
+@rule(
+    "trace-catalogue",
+    "tracepoint names and emit() field sets must match EVENT_CATALOGUE",
+)
+def check_trace_catalogue(tree: ast.Module, ctx: FileContext) -> Iterable[Finding]:
+    catalogue, optional = _config_catalogue(ctx)
+
+    def unknown_event(name: str, node: ast.AST) -> Finding:
+        return Finding(
+            path=ctx.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            rule="trace-catalogue",
+            message=f"unknown tracepoint {name!r} (not in EVENT_CATALOGUE)",
+        )
+
+    # Pass 1: every literal lookup resolves, and bindings are recorded.
+    bound_names: Dict[str, str] = {}
+    bound_attrs: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        resolved = _event_of(node) if isinstance(node, ast.expr) else None
+        if resolved is not None:
+            name, report_on = resolved
+            if name not in catalogue:
+                yield unknown_event(name, report_on)
+        if isinstance(node, ast.Call):
+            for name, element in _subscribe_events(node):
+                if name not in catalogue:
+                    yield unknown_event(name, element)
+        if isinstance(node, ast.Assign):
+            resolved = _event_of(node.value)
+            if resolved is None:
+                continue
+            event_name = resolved[0]
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    bound_names[target.id] = event_name
+                elif isinstance(target, ast.Attribute):
+                    bound_attrs[target.attr] = event_name
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            # Hot paths cache a point as a parameter default:
+            # ``def _issue(self, bio, _tp=TRACE.points["bio_issue"]): ...``
+            args = node.args
+            positional = list(args.posonlyargs) + list(args.args)
+            for arg, default in zip(positional[-len(args.defaults):], args.defaults):
+                resolved = _event_of(default)
+                if resolved is not None:
+                    bound_names[arg.arg] = resolved[0]
+            for arg, kw_default in zip(args.kwonlyargs, args.kw_defaults):
+                if kw_default is None:
+                    continue
+                resolved = _event_of(kw_default)
+                if resolved is not None:
+                    bound_names[arg.arg] = resolved[0]
+
+    # Pass 2: emit() keyword sets against the bound event's schema.
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if not (isinstance(func, ast.Attribute) and func.attr == "emit"):
+            continue
+        base = func.value
+        event: Optional[str] = None
+        resolved = _event_of(base)
+        if resolved is not None:
+            event = resolved[0]
+        elif isinstance(base, ast.Name):
+            event = bound_names.get(base.id)
+        elif isinstance(base, ast.Attribute):
+            event = bound_attrs.get(base.attr)
+        if event is None or event not in catalogue:
+            continue  # unresolvable binding (or already reported unknown)
+        fields = catalogue[event]
+        given = [kw.arg for kw in node.keywords if kw.arg is not None]
+        has_splat = any(kw.arg is None for kw in node.keywords)
+        unknown = sorted(set(given) - set(fields))
+        if unknown:
+            yield Finding(
+                path=ctx.path,
+                line=node.lineno,
+                col=node.col_offset,
+                rule="trace-catalogue",
+                message=(
+                    f"emit on {event!r} passes field(s) {unknown} not in "
+                    "its EVENT_CATALOGUE schema"
+                ),
+            )
+        if not has_splat:
+            missing = sorted(set(fields) - set(given) - optional)
+            if missing:
+                yield Finding(
+                    path=ctx.path,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    rule="trace-catalogue",
+                    message=(
+                        f"emit on {event!r} omits required field(s) "
+                        f"{missing}"
+                    ),
+                )

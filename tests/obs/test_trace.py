@@ -15,10 +15,12 @@ from repro.cgroup import CgroupTree
 from repro.controllers.noop import NoopController
 from repro.obs.trace import (
     EVENT_CATALOGUE,
+    OPTIONAL_FIELDS,
     TRACE,
     TraceBuffer,
     TraceError,
     TraceEvent,
+    TracePoint,
     TraceRegistry,
     load_events,
 )
@@ -71,6 +73,29 @@ class TestRegistry:
         registry.subscribe(lambda event: None, events=["bio_submit"])
         with pytest.raises(TraceError, match="bogus"):
             registry.point("bio_submit").emit(0.0, bogus=1)
+
+    def test_emit_rejects_missing_required_fields(self):
+        registry = TraceRegistry()
+        registry.subscribe(lambda event: None, events=["qos_period"])
+        with pytest.raises(TraceError, match="active_groups"):
+            registry.point("qos_period").emit(0.0, period=0.05, vrate=1.0)
+
+    def test_emit_allows_omitting_optional_dev(self):
+        """``dev`` is declared optional: single-device rigs skip it."""
+        assert "dev" in OPTIONAL_FIELDS
+        registry = TraceRegistry()
+        seen = []
+        registry.subscribe(seen.append, events=["qos_period"])
+        registry.point("qos_period").emit(
+            0.0, period=0.05, vrate=1.0, active_groups=1, budget_blocked=0
+        )
+        assert len(seen) == 1 and "dev" not in seen[0].fields
+
+    def test_required_excludes_only_optional_fields(self):
+        point = TracePoint("custom", ("dev", "value"))
+        assert point.required == frozenset({"value"})
+        with pytest.raises(TraceError, match="value"):
+            point.emit(0.0, dev="8:0")
 
     def test_subscription_filters_events(self):
         registry = TraceRegistry()
