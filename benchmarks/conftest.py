@@ -6,18 +6,69 @@ fixture, prints the same rows/series the paper reports, and asserts the
 qualitative *shape* — who wins, by roughly what factor — rather than
 absolute numbers (the substrate is a simulator, not Meta's testbed).
 
+Besides timing, :func:`run_experiment` now persists the figure data each
+experiment returns as a JSON artifact under ``.benchmarks/figures/`` —
+next to pytest-benchmark's own storage — so the regenerated numbers
+survive non-interactive runs instead of living only in captured stdout.
+
 Run with:  pytest benchmarks/ --benchmark-only
 """
 
 from __future__ import annotations
 
-import pytest
+import dataclasses
+import json
+from pathlib import Path
+
+#: Figure-data artifacts land beside pytest-benchmark's .benchmarks store.
+ARTIFACT_DIR = Path(".benchmarks") / "figures"
+
+
+def _jsonable(value):
+    """Best-effort conversion of experiment results to JSON-able data.
+
+    Handles the shapes our experiments actually return — dataclasses
+    (e.g. ``DeviceProfile``), numpy scalars/arrays, mappings, sequences —
+    and falls back to ``repr`` so an exotic value can never break the
+    benchmark that produced it.
+    """
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return _jsonable(dataclasses.asdict(value))
+    if isinstance(value, dict):
+        return {str(key): _jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        items = list(value) if not isinstance(value, (set, frozenset)) else sorted(value, key=repr)
+        return [_jsonable(item) for item in items]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if hasattr(value, "item") and callable(value.item):  # numpy scalar
+        try:
+            return _jsonable(value.item())
+        except (TypeError, ValueError):
+            pass
+    if hasattr(value, "tolist") and callable(value.tolist):  # numpy array
+        try:
+            return _jsonable(value.tolist())
+        except (TypeError, ValueError):
+            pass
+    return repr(value)
+
+
+def save_figure_artifact(name: str, result) -> Path:
+    """Write one experiment's returned figure data as a JSON artifact."""
+    ARTIFACT_DIR.mkdir(parents=True, exist_ok=True)
+    path = ARTIFACT_DIR / f"{name}.json"
+    path.write_text(json.dumps(_jsonable(result), indent=2, sort_keys=True) + "\n")
+    return path
 
 
 def run_experiment(benchmark, fn):
     """Run ``fn`` once under pytest-benchmark and return its result.
 
     The experiments are deterministic simulations; a single round both
-    times the harness and produces the figure data.
+    times the harness and produces the figure data.  The returned data is
+    also recorded under ``.benchmarks/figures/<test>.json``.
     """
-    return benchmark.pedantic(fn, rounds=1, iterations=1)
+    result = benchmark.pedantic(fn, rounds=1, iterations=1)
+    save_figure_artifact(getattr(benchmark, "name", fn.__name__), result)
+    return result

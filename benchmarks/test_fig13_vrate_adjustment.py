@@ -9,71 +9,57 @@ parameters are updated online:
   rate drops, then vrate climbs to ~200% to restore it while holding QoS;
 * phase 3 — parameters doubled versus the original: the device briefly
   over-saturates (latency spike), then vrate drops to ~50%.
+
+The scenario is declared as a ``vrate_phases`` spec and executed through
+the :mod:`repro.exp` runner, so the phase configuration fans out the same
+way a multi-point QoS sweep would (and lands in an artifact store).
 """
 
-import numpy as np
+import tempfile
+
 import pytest
 
 from repro.analysis.report import Table
-from repro.block.device import Device
-from repro.block.device_models import SSD_NEW
-from repro.block.layer import BlockLayer
-from repro.cgroup import CgroupTree
-from repro.core.controller import IOCost
-from repro.core.cost_model import LinearCostModel, ModelParams
-from repro.core.qos import QoSParams
-from repro.sim import Simulator
-from repro.workloads.synthetic import ClosedLoopWorkload
+from repro.exp import ArtifactStore, ExperimentSpec, run_sweep
 
 from benchmarks.conftest import run_experiment
 
 # 1/10-speed ssd_new keeps the event count tractable; relative behaviour
 # (model error vs vrate) is scale-free.
-SPEC = SSD_NEW.scaled(0.1)
 PHASE = 4.0  # seconds per phase
 LATENCY_TARGET = 2.5e-3  # p90 read target, scaled like the device
 
 
 def run_phases():
-    sim = Simulator()
-    device = Device(sim, SPEC, np.random.default_rng(2))
-    accurate = ModelParams.from_device_spec(SPEC)
-    model = LinearCostModel(accurate)
-    qos = QoSParams(
-        read_lat_target=LATENCY_TARGET,
-        read_pct=90,
-        write_lat_target=None,
-        vrate_min=0.1,
-        vrate_max=4.0,
-        period=0.05,
+    spec = ExperimentSpec(
+        name="fig13-vrate-adjustment",
+        kind="vrate_phases",
+        base={
+            "device": "ssd_new",
+            "device_scale": 0.1,
+            "phase_sec": PHASE,
+            "model_scales": [1.0, 0.5, 2.0],
+            "read_lat_target": LATENCY_TARGET,
+            "read_pct": 90,
+            "vrate_min": 0.1,
+            "vrate_max": 4.0,
+            "period": 0.05,
+            "depth": 64,
+        },
     )
-    controller = IOCost(model, qos=qos)
-    layer = BlockLayer(sim, device, controller)
-    group = CgroupTree().create("fio")
-    ClosedLoopWorkload(sim, layer, group, depth=64, stop_at=3 * PHASE, seed=1).start()
-
-    sim.run(until=PHASE)
-    model.replace_params(accurate.scaled(0.5))  # claim half the capability
-    sim.run(until=2 * PHASE)
-    model.replace_params(accurate.scaled(2.0))  # claim double the original
-    sim.run(until=3 * PHASE)
-    controller.detach()
-
-    series = controller.vrate_ctl.vrate_series
-    lat_series = controller.vrate_ctl.read_lat_series
-
-    def tail_mean(series, start, end):
-        values = series.slice(start, end)
-        tail = values[len(values) // 2 :]
-        return sum(tail) / len(tail)
-
+    with tempfile.TemporaryDirectory() as root:
+        report = run_sweep(spec, ArtifactStore(root), workers=1)
+    outcome = report.outcomes[0]
+    if not outcome.ok:
+        raise RuntimeError(f"vrate_phases failed: {outcome.error}")
+    phases = outcome.result["phases"]
     return {
-        "vrate_phase1": tail_mean(series, 0, PHASE),
-        "vrate_phase2": tail_mean(series, PHASE, 2 * PHASE),
-        "vrate_phase3": tail_mean(series, 2 * PHASE, 3 * PHASE),
-        "p90_phase1": tail_mean(lat_series, 0, PHASE),
-        "p90_phase2": tail_mean(lat_series, PHASE, 2 * PHASE),
-        "p90_phase3": tail_mean(lat_series, 2 * PHASE, 3 * PHASE),
+        "vrate_phase1": phases[0]["vrate"],
+        "vrate_phase2": phases[1]["vrate"],
+        "vrate_phase3": phases[2]["vrate"],
+        "p90_phase1": phases[0]["read_lat"],
+        "p90_phase2": phases[1]["read_lat"],
+        "p90_phase3": phases[2]["read_lat"],
     }
 
 

@@ -4,14 +4,20 @@ Profiles the eight catalogued fleet SSDs (A-H) with the fio-style
 saturating sweeps and reports the figure's series: random/sequential
 read/write IOPS (left axis) and read/write latency (right axis).
 
+The per-device fan-out runs through the :mod:`repro.exp` orchestrator —
+one ``profile_device`` sweep cell per SSD across a 2-worker pool — so
+this benchmark doubles as an end-to-end exercise of the spec ->
+expand -> schedule -> collect pipeline.
+
 Shape anchors from the paper's text: SSD H achieves high IOPS at a low
 latency, SSD G offers low IOPS and a relatively low latency, SSD A provides
 moderate IOPS with a higher latency.
 """
 
+import tempfile
+
 from repro.analysis.report import Table, format_si
-from repro.block.device_models import DEVICE_CATALOG
-from repro.core.profiler import profile_device
+from repro.exp import ArtifactStore, ExperimentSpec, run_sweep
 
 from benchmarks.conftest import run_experiment
 
@@ -19,13 +25,21 @@ FLEET = [f"fleet_{letter}" for letter in "abcdefgh"]
 
 
 def profile_fleet():
-    profiles = {}
-    for name in FLEET:
-        # Short sweeps keep the bench quick; IOPS converge fast.
-        profiles[name] = profile_device(
-            DEVICE_CATALOG[name], read_duration=0.08, write_duration=0.3
-        )
-    return profiles
+    # Short sweeps keep the bench quick; IOPS converge fast.
+    spec = ExperimentSpec(
+        name="fig3-device-heterogeneity",
+        kind="profile_device",
+        base={"read_duration": 0.08, "write_duration": 0.3},
+        grid={"device": FLEET},
+    )
+    with tempfile.TemporaryDirectory() as root:
+        report = run_sweep(spec, ArtifactStore(root), workers=2)
+    if report.failures:
+        raise RuntimeError(f"{report.failures} profiling cells failed")
+    return {
+        outcome.run.axes["device"]: outcome.result
+        for outcome in report.outcomes
+    }
 
 
 def test_fig3_device_heterogeneity(benchmark):
@@ -39,16 +53,16 @@ def test_fig3_device_heterogeneity(benchmark):
         profile = profiles[name]
         table.add_row(
             name.replace("fleet_", "SSD ").upper(),
-            format_si(profile.rrandiops),
-            format_si(profile.rseqiops),
-            format_si(profile.wrandiops),
-            f"{profile.read_lat_p50 * 1e6:.0f}us",
-            f"{profile.write_lat_p50 * 1e6:.0f}us",
+            format_si(profile["rrandiops"]),
+            format_si(profile["rseqiops"]),
+            format_si(profile["wrandiops"]),
+            f"{profile['read_lat_p50'] * 1e6:.0f}us",
+            f"{profile['write_lat_p50'] * 1e6:.0f}us",
         )
     table.print()
 
-    iops = {name: profiles[name].rrandiops for name in FLEET}
-    lat = {name: profiles[name].read_lat_p50 for name in FLEET}
+    iops = {name: profiles[name]["rrandiops"] for name in FLEET}
+    lat = {name: profiles[name]["read_lat_p50"] for name in FLEET}
     # H: highest IOPS; G: lowest IOPS; A: moderate IOPS with higher latency.
     assert iops["fleet_h"] == max(iops.values())
     assert iops["fleet_g"] == min(iops.values())

@@ -1,0 +1,96 @@
+#!/usr/bin/env python
+"""A declarative QoS-grid sweep through the experiment runner (repro.exp).
+
+Sweeps a latency-QoS protected/background scenario over two device
+generations and three p90 read-latency targets (6 cells), runs it across
+a worker pool, then re-runs the identical sweep to show every cell served
+from the content-addressed result cache.
+
+Artifacts (spec/result/meta per run) land under <store>/runs/; see
+docs/EXPERIMENTS_RUNNER.md for the layout and cache-key semantics.
+
+Run:  python examples/sweep_qos_grid.py [store-dir] [--workers N]
+"""
+
+import argparse
+import tempfile
+
+from repro.analysis.report import Table
+from repro.exp import ExperimentSpec, run_sweep
+from repro.exp.cli import wall_clock
+
+SPEC = ExperimentSpec(
+    name="qos-grid",
+    kind="testbed",
+    base={
+        "device": "ssd_new",
+        "device_scale": 0.1,
+        "controller": "iocost",
+        "duration": 0.5,
+        "qos": {"read_pct": 90, "vrate_min": 0.25, "vrate_max": 2.0},
+        "cgroups": {"protected": 500, "background": 100},
+        "workloads": [
+            {"cgroup": "protected", "type": "think_time", "think_time": 200e-6},
+            {"cgroup": "background", "type": "saturate", "depth": 64},
+        ],
+    },
+    grid={
+        "device": ["ssd_new", "ssd_old"],
+        "qos.read_lat_target": [0.4e-3, 1.0e-3, 2.5e-3],
+    },
+)
+
+
+def print_report(title, report):
+    table = Table(title, ["device", "lat target", "source",
+                          "prot p90", "prot iops", "bg iops"])
+    for axes, result in report.results_by_axes():
+        outcome = next(
+            o for o in report.outcomes if o.run.axes == axes
+        )
+        protected = result["cgroups"]["protected"]
+        background = result["cgroups"]["background"]
+        p90 = protected["read_p90"]
+        table.add_row(
+            axes["device"],
+            f"{axes['qos.read_lat_target'] * 1e3:.1f} ms",
+            "cache" if outcome.cached else "executed",
+            f"{p90 * 1e3:.2f} ms" if p90 is not None else "-",
+            f"{protected['iops']:,.0f}",
+            f"{background['iops']:,.0f}",
+        )
+    table.print()
+    print(
+        f"{report.runs_total} cells: {report.cache_hits} cached, "
+        f"{report.executed} executed in {report.elapsed_wall_sec:.1f}s\n"
+    )
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("store", nargs="?", default=None,
+                        help="artifact store root (default: a temp dir)")
+    parser.add_argument("--workers", type=int, default=2)
+    args = parser.parse_args()
+    store = args.store or tempfile.mkdtemp(prefix="repro-exp-")
+
+    spec = SPEC
+    # The sweep carries a percentile matching the QoS target's read_pct.
+    base = dict(spec.base)
+    base["percentiles"] = [90]
+    spec = ExperimentSpec.from_dict({**spec.to_dict(), "base": base})
+
+    print(f"artifact store: {store}\n")
+    report = run_sweep(spec, store, workers=args.workers, clock=wall_clock)
+    print_report("QoS grid — first invocation (cold cache)", report)
+
+    report = run_sweep(spec, store, workers=args.workers, clock=wall_clock)
+    print_report("QoS grid — second invocation (warm cache)", report)
+    print(
+        "tighter targets clamp vrate sooner: the background saturator "
+        "gives up throughput to hold the protected group's p90 (§3.3)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,125 @@
+"""Content-addressed result cache over the artifact store.
+
+A run is a cache hit when the store already holds a ``result.json``
+whose ``meta.json`` matches on every component of the cache key:
+
+* ``run_hash`` — content hash of (kind, params, seed), so editing one
+  sweep axis value invalidates exactly the cells that contain it;
+* ``seed`` — the sweep seed (also folded into the hash; checked
+  explicitly as a defensive second factor);
+* ``version`` — ``repro.__version__``, so bumping the library re-runs
+  everything (simulator behaviour may have changed under the same spec).
+
+Failed runs never hit: a sweep re-attempts its previous failures.  The
+cache records hit/miss reasons so ``status`` output and the sweep report
+can explain *why* a cell re-ran.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+import repro
+from repro.exp.grid import RunSpec
+from repro.exp.store import META_FILE, RESULT_FILE, SPEC_FILE, ArtifactStore
+
+#: Lookup outcomes (``CacheDecision.reason``).
+HIT = "hit"
+MISS_ABSENT = "absent"
+MISS_VERSION = "version-changed"
+MISS_FAILED = "failed-previously"
+MISS_STALE = "stale-metadata"
+MISS_FORCED = "forced"
+
+
+@dataclass(frozen=True)
+class CacheDecision:
+    """One lookup verdict: hit/miss, why, and the cached result if any."""
+
+    hit: bool
+    reason: str
+    result: Optional[Dict[str, Any]] = None
+    meta: Optional[Dict[str, Any]] = None
+
+
+class ResultCache:
+    """Cache keyed by (run content hash, seed, library version)."""
+
+    def __init__(self, store: ArtifactStore, version: Optional[str] = None) -> None:
+        self.store = store
+        self.version = repro.__version__ if version is None else version
+
+    def lookup(self, run: RunSpec, force: bool = False) -> CacheDecision:
+        if force:
+            return CacheDecision(hit=False, reason=MISS_FORCED)
+        run_hash = run.run_hash
+        meta = self.store.try_read_json(run_hash, META_FILE)
+        if meta is None:
+            return CacheDecision(hit=False, reason=MISS_ABSENT)
+        if meta.get("status") != "ok":
+            return CacheDecision(hit=False, reason=MISS_FAILED, meta=meta)
+        result = self.store.try_read_json(run_hash, RESULT_FILE)
+        if result is None:
+            return CacheDecision(hit=False, reason=MISS_ABSENT, meta=meta)
+        if meta.get("version") != self.version:
+            return CacheDecision(hit=False, reason=MISS_VERSION, meta=meta)
+        if meta.get("run_hash") != run_hash or meta.get("seed") != run.seed:
+            return CacheDecision(hit=False, reason=MISS_STALE, meta=meta)
+        return CacheDecision(hit=True, reason=HIT, result=result, meta=meta)
+
+    def commit(
+        self,
+        run: RunSpec,
+        status: str,
+        attempts: int,
+        wall_sec: float,
+        result: Optional[Dict[str, Any]] = None,
+        error: Optional[Dict[str, str]] = None,
+    ) -> Dict[str, Any]:
+        """Persist one executed run; returns the meta document written.
+
+        ``result.json`` is written only for successful runs and holds the
+        experiment output alone — timing and attempt counts go to
+        ``meta.json`` so cached and live runs stay byte-identical.
+        """
+        run_hash = run.run_hash
+        self.store.write_json(
+            run_hash,
+            SPEC_FILE,
+            {
+                "name": run.name,
+                "kind": run.kind,
+                "params": run.params,
+                "axes": run.axes,
+                "seed": run.seed,
+                "derived_seed": run.derived_seed,
+                "run_hash": run_hash,
+            },
+        )
+        meta: Dict[str, Any] = {
+            "run_hash": run_hash,
+            "seed": run.seed,
+            "version": self.version,
+            "status": status,
+            "attempts": attempts,
+            "wall_sec": wall_sec,
+        }
+        if error is not None:
+            meta["error"] = error
+        self.store.write_json(run_hash, META_FILE, meta)
+        if status == "ok" and result is not None:
+            self.store.write_json(run_hash, RESULT_FILE, result)
+        return meta
+
+
+__all__ = [
+    "CacheDecision",
+    "ResultCache",
+    "HIT",
+    "MISS_ABSENT",
+    "MISS_FAILED",
+    "MISS_FORCED",
+    "MISS_STALE",
+    "MISS_VERSION",
+]

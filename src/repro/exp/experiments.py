@@ -1,0 +1,415 @@
+"""The experiment-kind registry and the built-in kinds.
+
+A *kind* is a plain function ``fn(params, seed) -> result`` — JSON-able
+params in, JSON-able result out, every random draw rooted at ``seed``.
+The runner resolves kinds by registered name (the :func:`experiment`
+decorator) or by dotted import path (``"mypkg.mymod.my_fn"``), so user
+code can add kinds without touching this package; both forms survive the
+trip into a worker process.
+
+Built-ins cover the repo's own sweep surfaces:
+
+* ``testbed`` — the generic one-machine scenario: devices, controllers,
+  QoS, cgroup weights, a workload mix, one measurement window.  This is
+  the declarative twin of what every hand-rolled benchmark sets up.
+* ``profile_device`` — fio-style device profiling (Figure 3's fan-out
+  over the fleet).
+* ``vrate_phases`` — the Figure 13 online model-update scenario.
+* ``mechanism_2to1`` — the two-container 2:1 comparison scenario that
+  ``repro.tools.compare`` fans out over every Table 1 mechanism.
+
+Results must be canonically serialisable (no NaN, no numpy scalars) —
+helpers here convert measurements to plain floats, keeping ``result.json``
+byte-stable across worker pools.
+
+Reserved result key: ``_trace_jsonl`` (a list of JSONL event lines).  The
+runner strips it out of ``result.json`` and lands it as ``trace.jsonl``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import importlib
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.block.device_models import get_device_spec
+from repro.controllers.blk_throttle import ThrottleLimits
+from repro.core.cost_model import LinearCostModel, ModelParams
+from repro.core.profiler import profile_device
+from repro.core.qos import QoSParams
+from repro.obs.trace import TRACE, TraceBuffer
+from repro.testbed import Testbed
+
+ExperimentFn = Callable[[Dict[str, Any], int], Dict[str, Any]]
+
+#: Reserved result key carrying tracepoint JSONL lines to the runner.
+TRACE_KEY = "_trace_jsonl"
+
+
+class ExperimentError(ValueError):
+    """Raised for unknown kinds or malformed experiment params."""
+
+
+REGISTRY: Dict[str, ExperimentFn] = {}
+
+
+def experiment(name: str) -> Callable[[ExperimentFn], ExperimentFn]:
+    """Register ``fn`` as the experiment kind ``name``."""
+
+    def register(fn: ExperimentFn) -> ExperimentFn:
+        if name in REGISTRY:
+            raise ExperimentError(f"duplicate experiment kind {name!r}")
+        REGISTRY[name] = fn
+        return fn
+
+    return register
+
+
+def resolve(kind: str) -> ExperimentFn:
+    """Look up a kind: registry name first, then dotted import path."""
+    fn = REGISTRY.get(kind)
+    if fn is not None:
+        return fn
+    if "." in kind:
+        module_name, _, attr = kind.rpartition(".")
+        try:
+            module = importlib.import_module(module_name)
+        except ImportError as exc:
+            raise ExperimentError(f"cannot import experiment kind {kind!r}: {exc}") from exc
+        fn = getattr(module, attr, None)
+        if callable(fn):
+            return fn
+        raise ExperimentError(f"{kind!r} is not a callable experiment function")
+    raise ExperimentError(
+        f"unknown experiment kind {kind!r} (registered: {sorted(REGISTRY)})"
+    )
+
+
+# -- param helpers -----------------------------------------------------------
+
+
+def _opt_float(value: Any) -> Optional[float]:
+    return None if value is None else float(value)
+
+
+def _qos_from(params: Dict[str, Any]) -> Optional[QoSParams]:
+    """Build :class:`QoSParams` from a spec's ``qos`` table, if present."""
+    table = params.get("qos")
+    if table is None:
+        return None
+    if not isinstance(table, dict):
+        raise ExperimentError("'qos' must be a table of QoSParams fields")
+    known = {f.name for f in dataclasses.fields(QoSParams)}
+    unknown = set(table) - known
+    if unknown:
+        raise ExperimentError(f"unknown qos fields: {sorted(unknown)}")
+    return QoSParams(**table)
+
+
+def _device_spec(params: Dict[str, Any], key: str = "device") -> Any:
+    name = params.get(key, "ssd_new")
+    spec = get_device_spec(name)
+    scale = params.get("device_scale")
+    if scale is not None:
+        spec = spec.scaled(float(scale))
+    return spec
+
+
+# -- testbed: the generic declarative scenario -------------------------------
+
+_WORKLOAD_TYPES = ("saturate", "paced", "think_time", "latency_governed")
+
+
+@experiment("testbed")
+def run_testbed(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
+    """One declarative testbed scenario.
+
+    Params (all optional unless noted)::
+
+        device / devices        catalogue name, or {name: catalogue-name}
+        controller / controllers  Table 1 name, or {device: name}
+        device_scale            spec.scaled() factor applied to every device
+        qos                     QoSParams fields as a table
+        mem_bytes, swap_bytes, swap_device
+        cgroups                 {path: weight}           (required)
+        workloads               [{cgroup, type, device?, ...kwargs}] (required)
+        duration                measurement window seconds (default 1.0)
+        percentiles             latency percentiles to report (default [50, 95, 99])
+        trace_events            tracepoint names to capture into trace.jsonl
+    """
+    cgroup_table = params.get("cgroups")
+    workload_table = params.get("workloads")
+    if not isinstance(cgroup_table, dict) or not cgroup_table:
+        raise ExperimentError("testbed params need a 'cgroups' {path: weight} table")
+    if not isinstance(workload_table, list) or not workload_table:
+        raise ExperimentError("testbed params need a 'workloads' list")
+
+    kwargs: Dict[str, Any] = {}
+    if "devices" in params:
+        kwargs["devices"] = {
+            name: _scaled_spec(spec_name, params)
+            for name, spec_name in params["devices"].items()
+        }
+    else:
+        kwargs["device"] = _device_spec(params)
+    if "controllers" in params:
+        kwargs["controllers"] = dict(params["controllers"])
+    else:
+        kwargs["controller"] = params.get("controller", "iocost")
+    for key in ("mem_bytes", "swap_bytes", "swap_device"):
+        if params.get(key) is not None:
+            kwargs[key] = params[key]
+    qos = _qos_from(params)
+    if qos is not None:
+        kwargs["qos"] = qos
+
+    bed = Testbed(seed=seed, **kwargs)
+    groups = {
+        path: bed.add_cgroup(path, weight=int(weight))
+        for path, weight in cgroup_table.items()
+    }
+    duration = float(params.get("duration", 1.0))
+    for entry in workload_table:
+        _attach_workload(bed, groups, entry, duration)
+
+    percentiles = [float(p) for p in params.get("percentiles", [50, 95, 99])]
+    trace_names = params.get("trace_events") or []
+    buffer: Optional[TraceBuffer] = None
+    if trace_names:
+        buffer = TraceBuffer()
+        buffer.attach(TRACE, events=tuple(trace_names))
+    try:
+        bed.run(duration)
+    finally:
+        if buffer is not None:
+            buffer.detach()
+        bed.detach()
+
+    cgroup_results: Dict[str, Any] = {}
+    for path, group in groups.items():
+        latencies: Dict[str, Optional[float]] = {}
+        for pct in percentiles:
+            value = bed.latency_percentile(group, pct)
+            latencies[f"read_p{pct:g}"] = _opt_float(value)
+        cgroup_results[path] = {"iops": float(bed.iops(group)), **latencies}
+    result: Dict[str, Any] = {
+        "duration": duration,
+        "cgroups": cgroup_results,
+        "events_processed": int(bed.sim.events_processed),
+    }
+    if buffer is not None:
+        result[TRACE_KEY] = [event.to_json() for event in buffer.events]
+    return result
+
+
+def _scaled_spec(name: str, params: Dict[str, Any]) -> Any:
+    spec = get_device_spec(name)
+    scale = params.get("device_scale")
+    return spec if scale is None else spec.scaled(float(scale))
+
+
+def _attach_workload(
+    bed: Testbed,
+    groups: Dict[str, Any],
+    entry: Dict[str, Any],
+    duration: float,
+) -> None:
+    if not isinstance(entry, dict):
+        raise ExperimentError("each workload must be a table")
+    entry = dict(entry)
+    cgroup_path = entry.pop("cgroup", None)
+    wl_type = entry.pop("type", "saturate")
+    device = entry.pop("device", None)
+    if cgroup_path not in groups:
+        raise ExperimentError(
+            f"workload cgroup {cgroup_path!r} is not in the 'cgroups' table"
+        )
+    if wl_type not in _WORKLOAD_TYPES:
+        raise ExperimentError(
+            f"unknown workload type {wl_type!r} (want one of {_WORKLOAD_TYPES})"
+        )
+    entry.setdefault("stop_at", duration)
+    group = groups[cgroup_path]
+    if wl_type == "saturate":
+        bed.saturate(group, device=device, **entry)
+    elif wl_type == "paced":
+        rate = entry.pop("rate", None)
+        if rate is None:
+            raise ExperimentError("paced workloads need a 'rate'")
+        bed.paced(group, float(rate), device=device, **entry)
+    elif wl_type == "think_time":
+        bed.think_time(group, device=device, **entry)
+    else:
+        bed.latency_governed(group, device=device, **entry)
+
+
+# -- profile_device: Figure 3's per-device cell ------------------------------
+
+
+@experiment("profile_device")
+def run_profile_device(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
+    """Profile one catalogued device into linear-model parameters.
+
+    Params: ``device`` (required), ``device_scale``, ``read_duration``,
+    ``write_duration``.
+    """
+    if "device" not in params:
+        raise ExperimentError("profile_device params need a 'device'")
+    spec = _device_spec(params)
+    profile = profile_device(
+        spec,
+        seed=seed,
+        read_duration=float(params.get("read_duration", 0.25)),
+        write_duration=float(params.get("write_duration", 1.0)),
+    )
+    return {
+        key: (value if isinstance(value, str) else float(value))
+        for key, value in dataclasses.asdict(profile).items()
+    }
+
+
+# -- vrate_phases: Figure 13's online model updates --------------------------
+
+
+@experiment("vrate_phases")
+def run_vrate_phases(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
+    """Saturating reader under phase-wise cost-model rescaling.
+
+    Params: ``device`` (default ``ssd_new``), ``device_scale``,
+    ``phase_sec``, ``model_scales`` (one factor per phase, applied to the
+    accurate parameters at each phase start), ``depth``, and the QoS knobs
+    ``read_lat_target``/``read_pct``/``vrate_min``/``vrate_max``/``period``.
+
+    Returns per-phase steady-state vrate and read-latency percentile
+    (mean of the second half of each phase).
+    """
+    import numpy as np
+
+    from repro.block.device import Device
+    from repro.block.layer import BlockLayer
+    from repro.cgroup import CgroupTree
+    from repro.core.controller import IOCost
+    from repro.sim import Simulator
+    from repro.workloads.synthetic import ClosedLoopWorkload
+
+    spec = _device_spec(params)
+    phase_sec = float(params.get("phase_sec", 4.0))
+    model_scales = [float(s) for s in params.get("model_scales", [1.0, 0.5, 2.0])]
+    if not model_scales:
+        raise ExperimentError("vrate_phases needs at least one model scale")
+    depth = int(params.get("depth", 64))
+    total = phase_sec * len(model_scales)
+
+    sim = Simulator()
+    rng = np.random.default_rng(
+        np.random.SeedSequence(entropy=seed, spawn_key=(1,))
+    )
+    device = Device(sim, spec, rng)
+    accurate = ModelParams.from_device_spec(spec)
+    model = LinearCostModel(accurate.scaled(model_scales[0]))
+    qos = QoSParams(
+        read_lat_target=_opt_float(params.get("read_lat_target", 2.5e-3)),
+        read_pct=float(params.get("read_pct", 90)),
+        write_lat_target=None,
+        vrate_min=float(params.get("vrate_min", 0.1)),
+        vrate_max=float(params.get("vrate_max", 4.0)),
+        period=float(params.get("period", 0.05)),
+    )
+    controller = IOCost(model, qos=qos)
+    layer = BlockLayer(sim, device, controller)
+    group = CgroupTree().create("fio")
+    ClosedLoopWorkload(
+        sim, layer, group, depth=depth, stop_at=total,
+        seed=np.random.SeedSequence(entropy=seed, spawn_key=(2,)),
+    ).start()
+
+    phases: List[Dict[str, float]] = []
+    for index, scale in enumerate(model_scales):
+        if index > 0:
+            model.replace_params(accurate.scaled(scale))
+        sim.run(until=(index + 1) * phase_sec)
+    controller.detach()
+
+    vrate_series = controller.vrate_ctl.vrate_series
+    lat_series = controller.vrate_ctl.read_lat_series
+
+    def tail_mean(series: Any, start: float, end: float) -> float:
+        values = series.slice(start, end)
+        tail = values[len(values) // 2:]
+        if not tail:
+            raise ExperimentError("phase too short: no steady-state samples")
+        return float(sum(tail) / len(tail))
+
+    for index, scale in enumerate(model_scales):
+        start, end = index * phase_sec, (index + 1) * phase_sec
+        phases.append(
+            {
+                "model_scale": scale,
+                "vrate": tail_mean(vrate_series, start, end),
+                "read_lat": tail_mean(lat_series, start, end),
+            }
+        )
+    return {"phase_sec": phase_sec, "phases": phases}
+
+
+# -- mechanism_2to1: the tools/compare scenario ------------------------------
+
+
+@experiment("mechanism_2to1")
+def run_mechanism_2to1(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
+    """Two saturating containers at 2:1 weights under one mechanism.
+
+    Params: ``mechanism`` (required, a Table 1 name), ``device``,
+    ``device_scale``, ``duration``, ``depth``, ``vrate`` (pinned
+    vrate_min = vrate_max), ``period``.
+    """
+    mechanism = params.get("mechanism")
+    if not mechanism:
+        raise ExperimentError("mechanism_2to1 params need a 'mechanism'")
+    spec = _device_spec(params)
+    duration = float(params.get("duration", 2.0))
+    depth = int(params.get("depth", 32))
+    kwargs: Dict[str, Any] = {}
+    if mechanism == "blk-throttle":
+        # Limits sized to the device's profiled peak, split 2:1.
+        peak = spec.peak_rand_read_iops
+        kwargs["limits"] = {
+            "workload.slice/high": ThrottleLimits(riops=peak * 2 / 3),
+            "workload.slice/low": ThrottleLimits(riops=peak / 3),
+        }
+    vrate = float(params.get("vrate", 0.9))
+    qos = QoSParams(
+        read_lat_target=None, write_lat_target=None,
+        vrate_min=vrate, vrate_max=vrate,
+        period=float(params.get("period", 0.05)),
+    )
+    bed = Testbed(device=spec, controller=mechanism, qos=qos, seed=seed, **kwargs)
+    high = bed.add_cgroup("workload.slice/high", weight=200)
+    low = bed.add_cgroup("workload.slice/low", weight=100)
+    bed.saturate(high, depth=depth, stop_at=duration)
+    bed.saturate(low, depth=depth, stop_at=duration)
+    bed.run(duration)
+    high_iops, low_iops = bed.iops(high), bed.iops(low)
+    p90 = bed.layer.read_latency.percentile(bed.sim.now, 90)
+    bed.detach()
+    return {
+        "mechanism": mechanism,
+        "high_iops": float(high_iops),
+        "low_iops": float(low_iops),
+        "ratio": float(high_iops / low_iops) if low_iops else None,
+        "read_p90": _opt_float(p90),
+    }
+
+
+__all__ = [
+    "ExperimentError",
+    "ExperimentFn",
+    "REGISTRY",
+    "TRACE_KEY",
+    "experiment",
+    "resolve",
+    "run_mechanism_2to1",
+    "run_profile_device",
+    "run_testbed",
+    "run_vrate_phases",
+]

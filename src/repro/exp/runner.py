@@ -1,0 +1,323 @@
+"""The sweep runner: expand, consult the cache, execute, persist, report.
+
+Execution model: one **process per run** (fork-context
+``ProcessPoolExecutor``), because a simulated machine is CPU-bound pure
+Python — processes sidestep the GIL and give each run a pristine
+interpreter state.  Results come back to the parent in sweep order
+(``Executor.map``), and the parent alone writes the artifact store, so no
+two writers ever race on a run directory.
+
+Determinism contract: a run's RNG entropy derives from its content hash
+(:attr:`~repro.exp.grid.RunSpec.derived_seed`), never from scheduling, so
+a 2-worker and an 8-worker pool produce byte-identical ``result.json``
+files.  Wall-clock never enters the runner directly — callers inject a
+``clock`` callable (the CLI passes a real one; library users and tests
+may pass none and get zeros), keeping this module simlint-clean and the
+cached/live artifact bytes identical.
+
+Failures don't abort the sweep: each run is retried once (configurable)
+inside its worker, then recorded as a structured failure in ``meta.json``
+and the report.  Per-sweep counters (runs completed, cache hits,
+failures, wall seconds) land in a :class:`repro.obs.metrics.MetricRegistry`.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from multiprocessing import get_context
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Tuple, Union
+
+from repro.exp.cache import ResultCache
+from repro.exp.experiments import TRACE_KEY, resolve
+from repro.exp.grid import RunSpec, expand
+from repro.exp.spec import ExperimentSpec, canonical_json
+from repro.exp.store import TRACE_FILE, ArtifactStore
+from repro.obs.metrics import MetricRegistry
+
+Clock = Callable[[], float]
+
+#: Default metric registry for sweep counters (callers may pass their own).
+METRICS = MetricRegistry()
+
+
+def zero_clock() -> float:
+    """The no-timing clock: every interval measures as zero seconds."""
+    return 0.0
+
+
+class RunnerError(RuntimeError):
+    """Raised for unusable runner configuration."""
+
+
+@dataclass(frozen=True)
+class RunOutcome:
+    """How one sweep cell went: cached, executed-ok, or failed."""
+
+    run: RunSpec
+    status: str  # "ok" | "failed"
+    cached: bool
+    cache_reason: str
+    attempts: int
+    wall_sec: float
+    result: Optional[Dict[str, Any]] = None
+    error: Optional[Dict[str, str]] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+
+@dataclass
+class SweepReport:
+    """Everything a sweep produced, plus the aggregate perf numbers."""
+
+    name: str
+    sweep_hash: str
+    kind: str
+    workers: int
+    outcomes: List[RunOutcome] = field(default_factory=list)
+    elapsed_wall_sec: float = 0.0
+    version: str = ""
+
+    @property
+    def runs_total(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(1 for outcome in self.outcomes if outcome.cached)
+
+    @property
+    def executed(self) -> int:
+        return self.runs_total - self.cache_hits
+
+    @property
+    def failures(self) -> int:
+        return sum(1 for outcome in self.outcomes if not outcome.ok)
+
+    @property
+    def hit_rate(self) -> float:
+        if not self.outcomes:
+            return 0.0
+        return self.cache_hits / self.runs_total
+
+    @property
+    def executed_wall_sec(self) -> float:
+        """Summed per-run worker wall seconds — the serial-cost estimate."""
+        return sum(o.wall_sec for o in self.outcomes if not o.cached)
+
+    @property
+    def speedup_vs_serial(self) -> Optional[float]:
+        """Parallel speedup estimate: serial cost over observed elapsed."""
+        if self.elapsed_wall_sec <= 0 or self.executed == 0:
+            return None
+        return self.executed_wall_sec / self.elapsed_wall_sec
+
+    def results_by_axes(self) -> List[Tuple[Dict[str, Any], Optional[Dict[str, Any]]]]:
+        """(axes, result) pairs in sweep order — the figure-friendly view."""
+        return [(dict(o.run.axes), o.result) for o in self.outcomes]
+
+    def to_bench_dict(self) -> Dict[str, Any]:
+        """The ``BENCH_sweep.json`` payload: the sweep's perf trajectory."""
+        return {
+            "schema": "repro.exp.sweep/1",
+            "name": self.name,
+            "sweep_hash": self.sweep_hash,
+            "kind": self.kind,
+            "version": self.version,
+            "workers": self.workers,
+            "runs": [
+                {
+                    "run": outcome.run.run_hash,
+                    "axes": outcome.run.axes,
+                    "status": outcome.status,
+                    "cached": outcome.cached,
+                    "cache_reason": outcome.cache_reason,
+                    "attempts": outcome.attempts,
+                    "wall_sec": outcome.wall_sec,
+                }
+                for outcome in self.outcomes
+            ],
+            "totals": {
+                "runs": self.runs_total,
+                "executed": self.executed,
+                "cache_hits": self.cache_hits,
+                "cache_hit_rate": self.hit_rate,
+                "failures": self.failures,
+                "executed_wall_sec": self.executed_wall_sec,
+                "elapsed_wall_sec": self.elapsed_wall_sec,
+                "speedup_vs_serial": self.speedup_vs_serial,
+            },
+        }
+
+
+# -- worker side -------------------------------------------------------------
+
+#: Payload shipped to a worker: (kind, params, derived_seed, retries, clock).
+_Payload = Tuple[str, Dict[str, Any], int, int, Clock]
+#: What comes back: (status, result, error, attempts, wall_sec).
+_Verdict = Tuple[str, Optional[Dict[str, Any]], Optional[Dict[str, str]], int, float]
+
+
+def _execute(payload: _Payload) -> _Verdict:
+    """Run one cell (in a worker process), retrying on failure.
+
+    Never raises: an experiment that keeps failing is reported as a
+    structured failure so the rest of the sweep proceeds.
+    """
+    kind, params, derived_seed, retries, clock = payload
+    error: Optional[Dict[str, str]] = None
+    start = clock()
+    for attempt in range(1, retries + 2):
+        try:
+            fn = resolve(kind)
+            result = fn(params, derived_seed)
+        except Exception as exc:  # noqa: BLE001 - the sweep must survive
+            error = {"type": type(exc).__name__, "message": str(exc)}
+        else:
+            return "ok", result, None, attempt, clock() - start
+    return "failed", None, error, retries + 1, clock() - start
+
+
+def _make_executor(workers: int) -> ProcessPoolExecutor:
+    """A fork-context pool when the platform has fork (registry and
+    ``sys.path`` state inherit into workers), else the platform default."""
+    try:
+        mp_context = get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return ProcessPoolExecutor(max_workers=workers)
+    return ProcessPoolExecutor(max_workers=workers, mp_context=mp_context)
+
+
+# -- parent side -------------------------------------------------------------
+
+
+def run_sweep(
+    spec: ExperimentSpec,
+    store: Union[ArtifactStore, str, Path],
+    workers: int = 1,
+    clock: Optional[Clock] = None,
+    metrics: Optional[MetricRegistry] = None,
+    force: bool = False,
+    retries: int = 1,
+) -> SweepReport:
+    """Execute one sweep: cache-aware, parallel, failure-tolerant.
+
+    ``clock`` must be a picklable zero-argument callable (it travels into
+    worker processes); ``None`` disables timing.  ``force`` bypasses the
+    cache and re-executes every cell.
+    """
+    if workers < 1:
+        raise RunnerError("workers must be >= 1")
+    if retries < 0:
+        raise RunnerError("retries must be >= 0")
+    if not isinstance(store, ArtifactStore):
+        store = ArtifactStore(store)
+    clock = zero_clock if clock is None else clock
+    metrics = METRICS if metrics is None else metrics
+    cache = ResultCache(store)
+    runs = expand(spec)
+
+    report = SweepReport(
+        name=spec.name,
+        sweep_hash=spec.sweep_hash,
+        kind=spec.kind,
+        workers=workers,
+        version=cache.version,
+    )
+    start = clock()
+
+    outcomes: List[Optional[RunOutcome]] = [None] * len(runs)
+    pending: List[Tuple[int, RunSpec, str]] = []
+    for index, run in enumerate(runs):
+        decision = cache.lookup(run, force=force)
+        if decision.hit:
+            meta = decision.meta or {}
+            outcomes[index] = RunOutcome(
+                run=run,
+                status="ok",
+                cached=True,
+                cache_reason=decision.reason,
+                attempts=int(meta.get("attempts", 1)),
+                wall_sec=0.0,
+                result=decision.result,
+            )
+        else:
+            pending.append((index, run, decision.reason))
+
+    payloads: List[_Payload] = [
+        (run.kind, run.params, run.derived_seed, retries, clock)
+        for _, run, _ in pending
+    ]
+    if not payloads:
+        verdicts: List[_Verdict] = []
+    elif workers == 1 or len(payloads) == 1:
+        verdicts = [_execute(payload) for payload in payloads]
+    else:
+        with _make_executor(workers) as pool:
+            verdicts = list(pool.map(_execute, payloads, chunksize=1))
+
+    for (index, run, reason), verdict in zip(pending, verdicts):
+        status, result, error, attempts, wall_sec = verdict
+        trace_lines: Optional[List[str]] = None
+        if result is not None and TRACE_KEY in result:
+            trace_lines = list(result.pop(TRACE_KEY))
+        cache.commit(
+            run,
+            status=status,
+            attempts=attempts,
+            wall_sec=wall_sec,
+            result=result,
+            error=error,
+        )
+        if trace_lines is not None:
+            store.write_lines(run.run_hash, TRACE_FILE, trace_lines)
+        outcomes[index] = RunOutcome(
+            run=run,
+            status=status,
+            cached=False,
+            cache_reason=reason,
+            attempts=attempts,
+            wall_sec=wall_sec,
+            result=result,
+            error=error,
+        )
+
+    report.outcomes = [outcome for outcome in outcomes if outcome is not None]
+    report.elapsed_wall_sec = clock() - start
+
+    metrics.counter("exp.runs_completed").inc(report.runs_total - report.failures)
+    metrics.counter("exp.cache_hits").inc(report.cache_hits)
+    metrics.counter("exp.failures").inc(report.failures)
+    wall_hist = metrics.histogram("exp.run_wall_sec")
+    for outcome in report.outcomes:
+        if not outcome.cached:
+            wall_hist.record(outcome.wall_sec)
+    metrics.gauge("exp.sweep_wall_sec").set(report.elapsed_wall_sec)
+    if report.speedup_vs_serial is not None:
+        metrics.gauge("exp.parallel_speedup").set(report.speedup_vs_serial)
+    return report
+
+
+def write_bench_json(report: SweepReport, path: Union[str, Path]) -> Path:
+    """Write the sweep's perf-trajectory artifact (``BENCH_sweep.json``)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(canonical_json(report.to_bench_dict()) + "\n")
+    tmp.replace(path)
+    return path
+
+
+__all__ = [
+    "Clock",
+    "METRICS",
+    "RunOutcome",
+    "RunnerError",
+    "SweepReport",
+    "run_sweep",
+    "write_bench_json",
+    "zero_clock",
+]

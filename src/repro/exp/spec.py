@@ -1,0 +1,217 @@
+"""Declarative experiment specs: parse, validate, canonicalise, hash.
+
+An :class:`ExperimentSpec` describes a whole sweep — the experiment kind
+(a registered function in :mod:`repro.exp.experiments`), the base
+parameter tree handed to that function, the machine seed, and the sweep
+axes.  Two axis families exist, mirroring fio's job expansion and every
+hyper-parameter search tool since:
+
+* ``grid`` — the Cartesian product of every axis (2 devices x 2
+  controllers x 2 weights = 8 cells);
+* ``zip`` — axes iterated in lockstep (paired values, one cell per row).
+
+Axis names are dotted paths into ``base`` (``"device"``,
+``"qos.read_lat_target"``, ``"workloads.0.depth"``), applied by
+:func:`repro.exp.grid.set_by_path`.
+
+Hashing is content-addressed: :func:`canonical_json` renders any spec or
+run to one byte string (sorted keys, compact separators, ``allow_nan``
+off so a NaN can never silently poison a cache key) and
+:func:`content_hash` digests it.  Everything downstream — the artifact
+store layout, the result cache, per-run seeds — keys off these hashes,
+which is what makes re-running a sweep after editing one axis re-execute
+only the changed cells.
+
+Specs load from plain dicts, JSON files, or TOML files (TOML needs
+``tomllib``, Python >= 3.11, or a ``tomli`` backport; JSON always works).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Tuple, Union
+
+
+class SpecError(ValueError):
+    """Raised for malformed experiment specs or sweep axes."""
+
+
+def canonical_json(obj: Any) -> str:
+    """Render ``obj`` as canonical JSON: sorted keys, compact, no NaN.
+
+    The byte string is the content-addressed identity of specs, runs and
+    results, so it must be stable across processes, Python versions and
+    dict insertion orders.
+    """
+    try:
+        return json.dumps(
+            obj, sort_keys=True, separators=(",", ":"), allow_nan=False
+        )
+    except (TypeError, ValueError) as exc:
+        raise SpecError(f"spec is not canonically serialisable: {exc}") from exc
+
+
+def content_hash(obj: Any) -> str:
+    """Hex content hash (sha256, 16 hex chars) of ``obj``'s canonical JSON."""
+    digest = hashlib.sha256(canonical_json(obj).encode("utf-8")).hexdigest()
+    return digest[:16]
+
+
+def seed_entropy(obj: Any) -> int:
+    """Derive deterministic ``SeedSequence`` entropy from ``obj``'s content.
+
+    Independent of scheduling, worker count, and sweep-cell order: the
+    entropy depends only on what the run *is*.
+    """
+    digest = hashlib.sha256(canonical_json(obj).encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+def _check_axes(axes: Mapping[str, Any], family: str) -> Dict[str, Tuple[Any, ...]]:
+    out: Dict[str, Tuple[Any, ...]] = {}
+    for name, values in axes.items():
+        if not isinstance(name, str) or not name:
+            raise SpecError(f"{family} axis names must be non-empty strings")
+        if not isinstance(values, (list, tuple)) or not values:
+            raise SpecError(
+                f"{family} axis {name!r} must be a non-empty list of values"
+            )
+        out[name] = tuple(values)
+    return out
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One declarative sweep: kind + base params + seed + axes.
+
+    ``name`` is presentation-only (reports, CLI); it is deliberately
+    excluded from content hashes so renaming a sweep never invalidates
+    its cache.
+    """
+
+    name: str
+    kind: str = "testbed"
+    base: Mapping[str, Any] = field(default_factory=dict)
+    grid: Mapping[str, Tuple[Any, ...]] = field(default_factory=dict)
+    zip_axes: Mapping[str, Tuple[Any, ...]] = field(default_factory=dict)
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SpecError("spec needs a non-empty name")
+        if not self.kind:
+            raise SpecError("spec needs an experiment kind")
+        if not isinstance(self.seed, int):
+            raise SpecError("seed must be an int")
+        object.__setattr__(self, "base", dict(self.base))
+        object.__setattr__(self, "grid", _check_axes(self.grid, "grid"))
+        object.__setattr__(self, "zip_axes", _check_axes(self.zip_axes, "zip"))
+        overlap = set(self.grid) & set(self.zip_axes)
+        if overlap:
+            raise SpecError(f"axes in both grid and zip: {sorted(overlap)}")
+        lengths = {len(values) for values in self.zip_axes.values()}
+        if len(lengths) > 1:
+            raise SpecError(
+                "zip axes must all have the same length, got "
+                f"{sorted(lengths)}"
+            )
+        # Fail early if any part cannot be content-addressed.
+        canonical_json(self.to_dict())
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ExperimentSpec":
+        """Build a spec from a plain mapping (the TOML/JSON document shape)."""
+        if not isinstance(data, Mapping):
+            raise SpecError(f"spec document must be a mapping, got {type(data).__name__}")
+        known = {"name", "kind", "base", "grid", "zip", "seed"}
+        unknown = set(data) - known
+        if unknown:
+            raise SpecError(f"unknown spec keys: {sorted(unknown)}")
+        if "name" not in data:
+            raise SpecError("spec document needs a 'name'")
+        return cls(
+            name=str(data["name"]),
+            kind=str(data.get("kind", "testbed")),
+            base=dict(data.get("base", {})),
+            grid=dict(data.get("grid", {})),
+            zip_axes=dict(data.get("zip", {})),
+            seed=int(data.get("seed", 0)),
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The round-trippable document form (``zip_axes`` back to ``zip``)."""
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "base": dict(self.base),
+            "grid": {name: list(values) for name, values in self.grid.items()},
+            "zip": {name: list(values) for name, values in self.zip_axes.items()},
+            "seed": self.seed,
+        }
+
+    @property
+    def sweep_hash(self) -> str:
+        """Content hash of the whole sweep (name excluded — see class doc)."""
+        doc = self.to_dict()
+        del doc["name"]
+        return content_hash(doc)
+
+    def replace_axis(self, axis: str, values: List[Any]) -> "ExperimentSpec":
+        """A copy of this spec with one grid/zip axis's values replaced."""
+        if axis in self.grid:
+            grid = dict(self.grid)
+            grid[axis] = tuple(values)
+            return ExperimentSpec(
+                self.name, self.kind, self.base, grid, self.zip_axes, self.seed
+            )
+        if axis in self.zip_axes:
+            zipped = dict(self.zip_axes)
+            zipped[axis] = tuple(values)
+            return ExperimentSpec(
+                self.name, self.kind, self.base, self.grid, zipped, self.seed
+            )
+        raise SpecError(f"no such axis {axis!r}")
+
+
+def _load_toml(path: Path) -> Dict[str, Any]:
+    try:
+        import tomllib as toml_reader  # Python >= 3.11
+    except ImportError:  # pragma: no cover - exercised only on 3.9/3.10
+        try:
+            import tomli as toml_reader  # type: ignore[no-redef]
+        except ImportError:
+            raise SpecError(
+                f"cannot read {path}: TOML support needs Python >= 3.11 "
+                "(tomllib) or the 'tomli' package; use a .json spec instead"
+            ) from None
+    with path.open("rb") as handle:
+        return toml_reader.load(handle)
+
+
+def load_spec(path: Union[str, Path]) -> ExperimentSpec:
+    """Load a spec document from a ``.toml`` or ``.json`` file."""
+    path = Path(path)
+    if not path.is_file():
+        raise SpecError(f"no such spec file: {path}")
+    if path.suffix == ".toml":
+        document = _load_toml(path)
+    elif path.suffix == ".json":
+        document = json.loads(path.read_text())
+    else:
+        raise SpecError(
+            f"unsupported spec extension {path.suffix!r} (want .toml or .json)"
+        )
+    return ExperimentSpec.from_dict(document)
+
+
+__all__ = [
+    "ExperimentSpec",
+    "SpecError",
+    "canonical_json",
+    "content_hash",
+    "load_spec",
+    "seed_entropy",
+]

@@ -4,18 +4,23 @@ Runs the canonical two-container proportional-control scenario (weights
 2:1, both saturating) under every Table 1 mechanism and prints achieved
 IOPS, the split ratio, and p90 latency — a quick "which controller does
 what" view of the library.
+
+The per-mechanism fan-out drives through the :mod:`repro.exp`
+orchestrator (one ``mechanism_2to1`` cell per mechanism), so comparisons
+parallelise across a worker pool and repeat invocations against a
+persistent ``--store`` are served from the result cache.
 """
 
 from __future__ import annotations
 
 import argparse
+import tempfile
 from typing import Optional, Sequence
 
 from repro.analysis.report import Table, format_ratio, format_si
-from repro.block.device_models import DEVICE_CATALOG, get_device_spec
-from repro.controllers.blk_throttle import ThrottleLimits
-from repro.core.qos import QoSParams
-from repro.testbed import Testbed
+from repro.block.device_models import DEVICE_CATALOG
+from repro.exp import ArtifactStore, ExperimentSpec, run_sweep
+from repro.exp.cli import wall_clock
 
 MECHANISMS = ("none", "mq-deadline", "kyber", "blk-throttle", "bfq", "iolatency", "iocost")
 
@@ -35,57 +40,82 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--duration", type=float, default=2.0)
     parser.add_argument("--depth", type=int, default=32)
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--workers", type=int, default=2,
+        help="mechanism runs executed in parallel (default 2)",
+    )
+    parser.add_argument(
+        "--store", default=None,
+        help="persistent artifact store root (default: throwaway temp dir); "
+        "repeat invocations hit the result cache",
+    )
     return parser
 
 
-def run_mechanism(name, spec, duration, depth, seed):
-    kwargs = {}
-    if name == "blk-throttle":
-        # Limits sized to the device's profiled peak, split 2:1.
-        peak = spec.peak_rand_read_iops
-        kwargs["limits"] = {
-            "workload.slice/high": ThrottleLimits(riops=peak * 2 / 3),
-            "workload.slice/low": ThrottleLimits(riops=peak / 3),
-        }
-    qos = QoSParams(
-        read_lat_target=None, write_lat_target=None,
-        vrate_min=0.9, vrate_max=0.9, period=0.05,
+def build_spec(args: argparse.Namespace) -> ExperimentSpec:
+    """The comparison as a declarative sweep: one axis over mechanisms."""
+    if args.device not in DEVICE_CATALOG:
+        raise KeyError(args.device)
+    base = {
+        "device": args.device,
+        "duration": args.duration,
+        "depth": args.depth,
+        "vrate": 0.9,
+        "period": 0.05,
+    }
+    if args.scale != 1.0:
+        base["device_scale"] = args.scale
+    return ExperimentSpec(
+        name=f"compare-{args.device}",
+        kind="mechanism_2to1",
+        base=base,
+        grid={"mechanism": list(MECHANISMS)},
+        seed=args.seed,
     )
-    testbed = Testbed(device=spec, controller=name, qos=qos, seed=seed, **kwargs)
-    high = testbed.add_cgroup("workload.slice/high", weight=200)
-    low = testbed.add_cgroup("workload.slice/low", weight=100)
-    testbed.saturate(high, depth=depth, stop_at=duration)
-    testbed.saturate(low, depth=depth, stop_at=duration)
-    testbed.run(duration)
-    high_iops, low_iops = testbed.iops(high), testbed.iops(low)
-    p90 = testbed.layer.read_latency.percentile(testbed.sim.now, 90)
-    testbed.detach()
-    return high_iops, low_iops, p90
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    spec = get_device_spec(args.device)
-    if args.scale != 1.0:
-        spec = spec.scaled(args.scale)
+    spec = build_spec(args)
 
+    def sweep(root: str):
+        return run_sweep(
+            spec, ArtifactStore(root), workers=args.workers, clock=wall_clock
+        )
+
+    if args.store is not None:
+        report = sweep(args.store)
+    else:
+        with tempfile.TemporaryDirectory() as root:
+            report = sweep(root)
+
+    device_label = args.device if args.scale == 1.0 else f"{args.device}-x{args.scale:g}"
     table = Table(
-        f"Mechanism comparison — {spec.name}, weights 2:1, both saturating",
+        f"Mechanism comparison — {device_label}, weights 2:1, both saturating",
         ["mechanism", "high IOPS", "low IOPS", "ratio", "read p90"],
     )
-    for name in MECHANISMS:
-        high_iops, low_iops, p90 = run_mechanism(
-            name, spec, args.duration, args.depth, args.seed
-        )
+    failures = 0
+    for outcome in report.outcomes:
+        name = outcome.run.axes["mechanism"]
+        if not outcome.ok:
+            failures += 1
+            error = outcome.error or {}
+            table.add_row(name, "failed", error.get("type", "?"), "-", "-")
+            continue
+        result = outcome.result
+        p90 = result["read_p90"]
         table.add_row(
             name,
-            format_si(high_iops),
-            format_si(low_iops),
-            format_ratio(high_iops, low_iops),
+            format_si(result["high_iops"]),
+            format_si(result["low_iops"]),
+            format_ratio(result["high_iops"], result["low_iops"]),
             f"{p90 * 1e6:.0f}us" if p90 is not None else "n/a",
         )
     table.print()
-    return 0
+    cached = report.cache_hits
+    if cached:
+        print(f"\n({cached}/{report.runs_total} mechanisms served from cache)")
+    return 1 if failures else 0
 
 
 if __name__ == "__main__":  # pragma: no cover

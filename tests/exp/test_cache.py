@@ -1,0 +1,136 @@
+"""Result-cache semantics: the (content hash, seed, version) key."""
+
+import pytest
+
+import repro
+from repro.exp.cache import (
+    HIT,
+    MISS_ABSENT,
+    MISS_FAILED,
+    MISS_FORCED,
+    MISS_STALE,
+    MISS_VERSION,
+    ResultCache,
+)
+from repro.exp.grid import RunSpec
+from repro.exp.runner import run_sweep
+from repro.exp.spec import ExperimentSpec
+from repro.exp.store import ArtifactStore
+
+
+def make_run(value=1, seed=0):
+    return RunSpec(
+        name="s", kind="tests.exp.helpers.quick",
+        params={"value": value}, axes={"value": value}, seed=seed,
+    )
+
+
+class TestResultCacheUnit:
+    def test_absent_then_hit(self, tmp_path):
+        cache = ResultCache(ArtifactStore(tmp_path))
+        run = make_run()
+        assert cache.lookup(run).reason == MISS_ABSENT
+        cache.commit(run, status="ok", attempts=1, wall_sec=0.5, result={"v": 1})
+        decision = cache.lookup(run)
+        assert decision.hit and decision.reason == HIT
+        assert decision.result == {"v": 1}
+        assert decision.meta["wall_sec"] == 0.5
+
+    def test_forced_miss(self, tmp_path):
+        cache = ResultCache(ArtifactStore(tmp_path))
+        run = make_run()
+        cache.commit(run, status="ok", attempts=1, wall_sec=0.0, result={})
+        assert cache.lookup(run, force=True).reason == MISS_FORCED
+
+    def test_failed_runs_never_hit(self, tmp_path):
+        cache = ResultCache(ArtifactStore(tmp_path))
+        run = make_run()
+        cache.commit(
+            run, status="failed", attempts=2, wall_sec=0.1,
+            error={"type": "RuntimeError", "message": "boom"},
+        )
+        assert cache.lookup(run).reason == MISS_FAILED
+        # Even with a (tampered-in) result present, failed status blocks the hit.
+        cache.store.write_json(run.run_hash, "result.json", {"v": 1})
+        assert cache.lookup(run).reason == MISS_FAILED
+
+    def test_ok_meta_without_result_is_absent(self, tmp_path):
+        # An interrupted sweep can leave meta.json without result.json;
+        # that must read as a re-runnable miss, not a crash or a hit.
+        store = ArtifactStore(tmp_path)
+        cache = ResultCache(store)
+        run = make_run()
+        cache.commit(run, status="ok", attempts=1, wall_sec=0.0, result={"v": 1})
+        store.path(run.run_hash, "result.json").unlink()
+        assert cache.lookup(run).reason == MISS_ABSENT
+
+    def test_version_mismatch(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        run = make_run()
+        ResultCache(store, version="1.0").commit(
+            run, status="ok", attempts=1, wall_sec=0.0, result={"v": 1}
+        )
+        assert ResultCache(store, version="1.0").lookup(run).hit
+        assert ResultCache(store, version="2.0").lookup(run).reason == MISS_VERSION
+
+    def test_stale_metadata(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        cache = ResultCache(store)
+        run = make_run()
+        cache.commit(run, status="ok", attempts=1, wall_sec=0.0, result={"v": 1})
+        meta = store.read_json(run.run_hash, "meta.json")
+        meta["seed"] = 999
+        store.write_json(run.run_hash, "meta.json", meta)
+        assert cache.lookup(run).reason == MISS_STALE
+
+
+class TestCacheThroughSweeps:
+    SPEC = ExperimentSpec(
+        name="cache-sweep",
+        kind="tests.exp.helpers.quick",
+        grid={"value": (1, 2, 3)},
+    )
+
+    def test_same_spec_and_seed_hits(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        first = run_sweep(self.SPEC, store, workers=1)
+        assert first.cache_hits == 0 and first.failures == 0
+        second = run_sweep(self.SPEC, store, workers=1)
+        assert second.cache_hits == 3
+        assert second.hit_rate == 1.0
+        assert [o.result for o in second.outcomes] == [o.result for o in first.outcomes]
+
+    def test_changed_axis_value_is_single_cell_miss(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        run_sweep(self.SPEC, store, workers=1)
+        edited = self.SPEC.replace_axis("value", [1, 2, 99])
+        report = run_sweep(edited, store, workers=1)
+        assert report.cache_hits == 2
+        assert report.executed == 1
+        missed = [o for o in report.outcomes if not o.cached]
+        assert missed[0].run.axes == {"value": 99}
+
+    def test_changed_seed_is_full_miss(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        run_sweep(self.SPEC, store, workers=1)
+        reseeded = ExperimentSpec.from_dict({**self.SPEC.to_dict(), "seed": 9})
+        report = run_sweep(reseeded, store, workers=1)
+        assert report.cache_hits == 0
+
+    def test_version_bump_is_full_miss(self, tmp_path, monkeypatch):
+        store = ArtifactStore(tmp_path)
+        run_sweep(self.SPEC, store, workers=1)
+        monkeypatch.setattr(repro, "__version__", "999.0.0")
+        report = run_sweep(self.SPEC, store, workers=1)
+        assert report.cache_hits == 0
+        assert all(o.cache_reason == "version-changed" for o in report.outcomes)
+        # And the re-run results are now cached under the new version.
+        again = run_sweep(self.SPEC, store, workers=1)
+        assert again.cache_hits == 3
+
+    def test_force_reexecutes(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        run_sweep(self.SPEC, store, workers=1)
+        report = run_sweep(self.SPEC, store, workers=1, force=True)
+        assert report.cache_hits == 0
+        assert report.executed == 3

@@ -1,0 +1,70 @@
+"""Artifact store: layout, atomic writes, collection."""
+
+import pytest
+
+from repro.exp.store import ArtifactStore, StoreError
+
+
+class TestArtifactStore:
+    def test_layout(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        path = store.write_json("abc123", "result.json", {"x": 1})
+        assert path == tmp_path / "runs" / "abc123" / "result.json"
+        assert store.has("abc123", "result.json")
+        assert not store.has("abc123", "meta.json")
+
+    def test_canonical_bytes(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        store.write_json("h1", "result.json", {"b": 1, "a": 2})
+        assert store.result_bytes("h1") == b'{"a":2,"b":1}\n'
+
+    def test_no_tmp_residue(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        store.write_json("h1", "result.json", {"a": 1})
+        leftovers = [p.name for p in (tmp_path / "runs" / "h1").iterdir()]
+        assert leftovers == ["result.json"]
+
+    def test_try_read_corrupt_is_none(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        store.write_json("h1", "meta.json", {"a": 1})
+        store.path("h1", "meta.json").write_text("{not json")
+        assert store.try_read_json("h1", "meta.json") is None
+
+    def test_read_json_missing_raises(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        with pytest.raises(StoreError, match="missing or unreadable"):
+            store.read_json("h1", "meta.json")
+
+    def test_result_bytes_missing_raises(self, tmp_path):
+        with pytest.raises(StoreError, match="no result"):
+            ArtifactStore(tmp_path).result_bytes("h1")
+
+    def test_invalid_hash_rejected(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        for bad in ("", "../escape", ".hidden"):
+            with pytest.raises(StoreError, match="invalid run hash"):
+                store.run_dir(bad)
+
+    def test_list_runs_sorted(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        assert store.list_runs() == []
+        for run_hash in ("bbb", "aaa"):
+            store.write_json(run_hash, "spec.json", {})
+        assert store.list_runs() == ["aaa", "bbb"]
+
+    def test_write_lines(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        store.write_lines("h1", "trace.jsonl", ['{"a":1}', '{"b":2}'])
+        text = store.path("h1", "trace.jsonl").read_text()
+        assert text == '{"a":1}\n{"b":2}\n'
+
+    def test_collect(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        store.write_json("h1", "spec.json", {"kind": "k"})
+        store.write_json("h1", "meta.json", {"status": "ok"})
+        store.write_json("h1", "result.json", {"v": 1})
+        store.write_json("h2", "spec.json", {"kind": "k"})
+        collected = store.collect()
+        assert [entry["run"] for entry in collected] == ["h1", "h2"]
+        assert collected[0]["result"] == {"v": 1}
+        assert collected[1]["result"] is None
