@@ -30,8 +30,11 @@ from repro.obs.overhead import (
     OverheadReport,
     count_emissions,
     disabled_check_cost,
+    disabled_prof_check_cost,
     wall_time,
 )
+from repro.obs.prof import PROF
+from repro.obs.spans import SPAN_EVENTS
 from repro.obs.trace import TRACE
 from repro.sim import Simulator
 from repro.testbed import make_controller
@@ -115,4 +118,84 @@ def test_obs_disabled_overhead(benchmark):
     # and complete at minimum), and really is traced when enabled.
     assert report.trace_checks >= 3 * TARGET_BIOS
     # The headline claim: disabled tracing costs < 5% of the run.
+    assert report.overhead_fraction < OVERHEAD_LIMIT, report.describe()
+
+
+def measure_span_tracking() -> OverheadReport:
+    """Span tracking rides entirely on the bio-lifecycle tracepoints, so an
+    unattached SpanTracker costs exactly the guard checks of those events."""
+    TRACE.reset()
+    events_processed = run_fixed()          # warm caches / count sim events
+    wall = wall_time(run_fixed, repeat=3)   # nothing attached
+
+    counter = {"n": 0}
+
+    def count(_event) -> None:
+        counter["n"] += 1
+
+    subscription = TRACE.subscribe(count, events=SPAN_EVENTS)
+    try:
+        run_fixed()
+    finally:
+        subscription.close()
+
+    return OverheadReport(
+        wall_sec=wall,
+        events_processed=events_processed,
+        trace_checks=counter["n"],
+        check_cost=disabled_check_cost(),
+    )
+
+
+def test_span_tracking_disabled_overhead(benchmark):
+    report = run_experiment(benchmark, measure_span_tracking)
+
+    benchmark.extra_info.update(
+        wall_ms=round(report.wall_sec * 1e3, 2),
+        span_guard_checks=report.trace_checks,
+        overhead_fraction=round(report.overhead_fraction, 6),
+    )
+
+    # Every bio passes its submit, issue, and complete guards.
+    assert report.trace_checks >= 3 * TARGET_BIOS
+    assert report.overhead_fraction < OVERHEAD_LIMIT, report.describe()
+
+
+def measure_self_profiler() -> OverheadReport:
+    """The self-profiler's disabled cost: one flag check per counter site.
+
+    ``PROF.total_checks`` of an enabled run counts exactly the guard
+    passes the identical disabled run performs (each instrumented site
+    increments exactly one plain counter per pass).
+    """
+    TRACE.reset()
+    events_processed = run_fixed()          # warm caches / count sim events
+    PROF.disable().reset()
+    wall = wall_time(run_fixed, repeat=3)   # profiler disabled
+
+    with PROF:
+        run_fixed()
+    checks = PROF.total_checks
+    PROF.disable().reset()
+
+    return OverheadReport(
+        wall_sec=wall,
+        events_processed=events_processed,
+        trace_checks=checks,
+        check_cost=disabled_prof_check_cost(),
+    )
+
+
+def test_self_profiler_disabled_overhead(benchmark):
+    report = run_experiment(benchmark, measure_self_profiler)
+
+    benchmark.extra_info.update(
+        wall_ms=round(report.wall_sec * 1e3, 2),
+        prof_guard_checks=report.trace_checks,
+        overhead_fraction=round(report.overhead_fraction, 6),
+    )
+
+    # Every bio passes its submitted/issued/completed counter guards, and
+    # the engine its dispatch/heap guards.
+    assert report.trace_checks >= 3 * TARGET_BIOS
     assert report.overhead_fraction < OVERHEAD_LIMIT, report.describe()

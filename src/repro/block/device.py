@@ -307,6 +307,7 @@ class Device:
             self._tp_complete.emit(
                 self.sim.now,
                 dev=self.devno,
+                id=bio.id,
                 cgroup=bio.cgroup.path,
                 op=bio.op.value,
                 nbytes=bio.nbytes,

@@ -21,6 +21,7 @@ from repro.analysis.stats import LatencyWindow
 from repro.block.bio import Bio
 from repro.block.device import Device
 from repro.cgroup import Cgroup
+from repro.obs.prof import PROF
 from repro.obs.trace import TRACE
 from repro.sim import Signal, Simulator
 
@@ -64,6 +65,8 @@ class BlockLayer:
         # is disabled (see repro.obs.trace).
         self._tp_submit = TRACE.points["bio_submit"]
         self._tp_issue = TRACE.points["bio_issue"]
+        # Cached self-profiler (same zero-cost guard pattern, repro.obs.prof).
+        self._prof = PROF
 
         # Statistics.
         self.submitted_ios = 0
@@ -82,10 +85,13 @@ class BlockLayer:
         self._detect_sequential(bio)
         bio.cgroup.stats.account(bio.is_write, bio.nbytes, self.dev)
         self.submitted_ios += 1
+        if self._prof.enabled:
+            self._prof.bios_submitted += 1
         if self._tp_submit.enabled:
             self._tp_submit.emit(
                 self.sim.now,
                 dev=self.dev,
+                id=bio.id,
                 cgroup=bio.cgroup.path,
                 op=bio.op.value,
                 nbytes=bio.nbytes,
@@ -133,10 +139,13 @@ class BlockLayer:
 
     def _issue(self, bio: Bio) -> None:
         bio.issue_time = self.sim.now
+        if self._prof.enabled:
+            self._prof.bios_issued += 1
         if self._tp_issue.enabled:
             self._tp_issue.emit(
                 self.sim.now,
                 dev=self.dev,
+                id=bio.id,
                 cgroup=bio.cgroup.path,
                 op=bio.op.value,
                 nbytes=bio.nbytes,
@@ -150,6 +159,8 @@ class BlockLayer:
         bio.complete_time = self.sim.now
         self.inflight -= 1
         self.completed_ios += 1
+        if self._prof.enabled:
+            self._prof.bios_completed += 1
         self.completed_bytes += bio.nbytes
         path = bio.cgroup.path
         self.completed_by_cgroup[path] = self.completed_by_cgroup.get(path, 0) + 1

@@ -82,14 +82,20 @@ class IOController(abc.ABC):
         path = bio.cgroup.path
         self.throttled_by_cgroup[path] = self.throttled_by_cgroup.get(path, 0) + 1
         if self._tp_throttle.enabled:
+            # ``ctl`` is this controller's own name: in a stacked
+            # configuration (controllers/stacked.py) the gate and the
+            # scheduler each note their own throttles, so a trace separates
+            # iocost budget waits from device-queue (mq-deadline/kyber
+            # depth) waits per bio.
             self._tp_throttle.emit(
                 self.layer.sim.now,
                 dev=self.layer.dev,
+                id=bio.id,
                 cgroup=path,
                 op=bio.op.value,
                 nbytes=bio.nbytes,
                 reason=reason,
-                controller=self.name,
+                ctl=self.name,
             )
 
     def cost_stat(self, cgroup: "Cgroup") -> Dict[str, float]:

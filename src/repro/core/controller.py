@@ -30,6 +30,7 @@ from repro.core.donation import compute_donations
 from repro.core.hierarchy import GroupState, WeightTree
 from repro.core.qos import QoSParams, VRateController
 from repro.core.vtime import VTimeClock
+from repro.obs.prof import PROF
 from repro.obs.trace import TRACE
 
 #: Bios carrying these flags bypass budget under the debt protocol.
@@ -97,6 +98,8 @@ class IOCost(IOController):
         self._tp_debt = TRACE.points["debt_pay"]
         self._tp_vrate = TRACE.points["vrate_adjust"]
         self._tp_period = TRACE.points["qos_period"]
+        # Cached self-profiler (same zero-cost guard, repro.obs.prof).
+        self._prof = PROF
 
     # -- lifecycle ------------------------------------------------------------
 
@@ -200,6 +203,8 @@ class IOCost(IOController):
 
     def pump(self) -> None:
         layer = self.layer
+        if self._prof.enabled:
+            self._prof.pump_calls += 1
         # Urgent (swap/journal) bios first: they bypass budget entirely.
         while self._urgent and layer.can_dispatch():
             layer.dispatch(self._urgent.popleft())
@@ -283,6 +288,8 @@ class IOCost(IOController):
 
     def _plan(self) -> None:
         sim = self.layer.sim
+        if self._prof.enabled:
+            self._prof.plan_ticks += 1
         self._deactivate_idle()
         if self.donation_enabled:
             self._recompute_donations()

@@ -37,6 +37,7 @@ from repro.controllers.blk_throttle import ThrottleLimits
 from repro.core.cost_model import LinearCostModel, ModelParams
 from repro.core.profiler import profile_device
 from repro.core.qos import QoSParams
+from repro.obs.spans import SpanTracker
 from repro.obs.trace import TRACE, TraceBuffer
 from repro.testbed import Testbed
 
@@ -136,6 +137,8 @@ def run_testbed(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
         duration                measurement window seconds (default 1.0)
         percentiles             latency percentiles to report (default [50, 95, 99])
         trace_events            tracepoint names to capture into trace.jsonl
+        trace_spans             true: track bio spans, report the stage
+                                breakdown (repro.obs.spans) under 'spans'
     """
     cgroup_table = params.get("cgroups")
     workload_table = params.get("workloads")
@@ -178,11 +181,16 @@ def run_testbed(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
     if trace_names:
         buffer = TraceBuffer()
         buffer.attach(TRACE, events=tuple(trace_names))
+    tracker: Optional[SpanTracker] = None
+    if params.get("trace_spans"):
+        tracker = SpanTracker().attach(TRACE)
     try:
         bed.run(duration)
     finally:
         if buffer is not None:
             buffer.detach()
+        if tracker is not None:
+            tracker.detach()
         bed.detach()
 
     cgroup_results: Dict[str, Any] = {}
@@ -197,6 +205,12 @@ def run_testbed(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
         "cgroups": cgroup_results,
         "events_processed": int(bed.sim.events_processed),
     }
+    if tracker is not None:
+        result["spans"] = {
+            "completed": tracker.completed,
+            "open": tracker.open_count,
+            "breakdown": tracker.breakdown(),
+        }
     if buffer is not None:
         result[TRACE_KEY] = [event.to_json() for event in buffer.events]
     return result

@@ -14,20 +14,37 @@ package reproduces for the simulated stack:
 * :mod:`repro.obs.iostat` — the cgroup2 ``io.stat`` surface: per-cgroup
   rbytes/wbytes/rios/wios/dbytes plus iocost's ``cost.*`` keys, aggregated
   hierarchically and surviving cgroup removal.
+* :mod:`repro.obs.spans` — bio-lifecycle spans: the four bio tracepoints
+  stitched into per-bio latency decompositions (queue wait, per-controller
+  throttle wait, service) with per-cgroup × per-device stage histograms
+  and a :meth:`~repro.obs.spans.SpanTracker.breakdown` rollup.
+* :mod:`repro.obs.timeline` — Chrome trace-event JSON export of spans
+  (loads in Perfetto: a process per cgroup, a row per device).
+* :mod:`repro.obs.prof` — the deterministic engine self-profiler: counts
+  events dispatched, heap operations, bios moved, and tracepoint
+  emissions behind the same zero-cost guard pattern as tracepoints.
 * :mod:`repro.obs.snapshot` — the per-period monitor snapshot format
   shared by the live monitor (:mod:`repro.tools.monitor`) and its CLI.
 * :mod:`repro.obs.overhead` — wall-clock profiling of simulator runs, so
   Figure 9-style experiments can quantify the cost of tracing itself.
+
+See ``docs/OBSERVABILITY.md`` for the tracepoints → spans → breakdown →
+Perfetto walk-through.
 """
 
 from repro.obs.iostat import IOStat
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricRegistry, exact_percentile
 from repro.obs.overhead import OverheadReport, disabled_check_cost, wall_time
+from repro.obs.prof import PROF, SimProfiler
 from repro.obs.snapshot import MonitorSnapshot, load_snapshots, render_snapshot
+from repro.obs.spans import Annotation, Span, SpanTracker
+from repro.obs.timeline import to_chrome_trace, validate_chrome_trace, write_chrome_trace
 from repro.obs.trace import TRACE, TraceBuffer, TraceEvent, TracePoint, TraceRegistry
 
 __all__ = [
+    "PROF",
     "TRACE",
+    "Annotation",
     "Counter",
     "Gauge",
     "Histogram",
@@ -35,6 +52,9 @@ __all__ = [
     "MetricRegistry",
     "MonitorSnapshot",
     "OverheadReport",
+    "SimProfiler",
+    "Span",
+    "SpanTracker",
     "TraceBuffer",
     "TraceEvent",
     "TracePoint",
@@ -43,5 +63,8 @@ __all__ = [
     "exact_percentile",
     "load_snapshots",
     "render_snapshot",
+    "to_chrome_trace",
+    "validate_chrome_trace",
     "wall_time",
+    "write_chrome_trace",
 ]

@@ -144,6 +144,29 @@ class Histogram:
     def p99(self) -> float:
         return self.percentile(99)
 
+    def merge(self, other: "Histogram") -> "Histogram":
+        """Fold ``other``'s samples into this histogram (in place).
+
+        Requires matching ``resolution`` so bucket indices line up; used by
+        :meth:`repro.obs.spans.SpanTracker.breakdown` to roll per-cgroup ×
+        per-device stage histograms up to machine-wide ones.
+        """
+        if other.resolution != self.resolution:
+            raise ValueError(
+                f"cannot merge histograms with resolutions "
+                f"{self.resolution} and {other.resolution}"
+            )
+        self.count += other.count
+        self.sum += other.sum
+        if other.min < self.min:
+            self.min = other.min
+        if other.max > self.max:
+            self.max = other.max
+        self._zero += other._zero
+        for index, bucket_count in other._buckets.items():
+            self._buckets[index] = self._buckets.get(index, 0) + bucket_count
+        return self
+
     def summary(self) -> Dict[str, float]:
         """The io.stat-friendly flat view: count/mean/p50/p95/p99/max."""
         if self.count == 0:

@@ -21,6 +21,7 @@ import time
 from dataclasses import dataclass
 from typing import Callable, Optional
 
+from repro.obs.prof import SimProfiler
 from repro.obs.trace import TRACE, TracePoint, TraceRegistry
 
 
@@ -55,6 +56,29 @@ def disabled_check_cost(iterations: int = 200_000) -> float:
     for _ in range(iterations):
         if point.enabled:
             point.emit(0.0, value=1)
+    guarded = time.perf_counter() - start
+
+    start = time.perf_counter()
+    for _ in range(iterations):
+        pass
+    empty = time.perf_counter() - start
+
+    return max(0.0, (guarded - empty) / iterations)
+
+
+def disabled_prof_check_cost(iterations: int = 200_000) -> float:
+    """Per-call wall-clock cost (seconds) of a disabled profiler guard.
+
+    Times ``if prof.enabled: prof.counter += 1`` against an empty loop —
+    the exact shape of every :data:`repro.obs.prof.PROF` call site — and
+    returns the difference per iteration (floored at 0).
+    """
+    prof = SimProfiler()
+
+    start = time.perf_counter()
+    for _ in range(iterations):
+        if prof.enabled:
+            prof.bios_submitted += 1
     guarded = time.perf_counter() - start
 
     start = time.perf_counter()

@@ -38,6 +38,8 @@ from __future__ import annotations
 import json
 from collections import deque
 from dataclasses import dataclass, field
+
+from repro.obs.prof import PROF
 from typing import (
     Any,
     Callable,
@@ -57,12 +59,15 @@ from typing import (
 #: Every device-scoped event also declares ``dev``, the ``maj:min`` id of
 #: the block device the event happened on, so multi-device traces can be
 #: demultiplexed.  Emitting it is optional (single-device unit rigs skip it).
+#: Every bio-lifecycle event carries ``id``, the bio's process-unique
+#: ordinal, so the four events of one bio stitch into a span keyed by
+#: ``(dev, id)`` (:class:`repro.obs.spans.SpanTracker`).
 EVENT_CATALOGUE: Dict[str, Tuple[str, ...]] = {
-    "bio_submit": ("dev", "cgroup", "op", "nbytes", "sector", "flags", "prio"),
-    "bio_throttle": ("dev", "cgroup", "op", "nbytes", "reason", "controller"),
-    "bio_issue": ("dev", "cgroup", "op", "nbytes", "wait"),
+    "bio_submit": ("dev", "id", "cgroup", "op", "nbytes", "sector", "flags", "prio"),
+    "bio_throttle": ("dev", "id", "cgroup", "op", "nbytes", "reason", "ctl"),
+    "bio_issue": ("dev", "id", "cgroup", "op", "nbytes", "wait"),
     "bio_complete": (
-        "dev", "cgroup", "op", "nbytes", "sector", "flags", "prio",
+        "dev", "id", "cgroup", "op", "nbytes", "sector", "flags", "prio",
         "submit_time", "latency", "device_latency",
     ),
     "vrate_adjust": (
@@ -77,9 +82,13 @@ EVENT_CATALOGUE: Dict[str, Tuple[str, ...]] = {
 
 #: Declared fields that :meth:`TracePoint.emit` may omit.  ``dev`` is the
 #: only one: single-device unit rigs predate device ids and legitimately
-#: emit without it.  Every other declared field is required — an emit that
-#: skips one raises :class:`TraceError`, and the ``trace-catalogue`` simlint
-#: rule enforces the same contract statically.
+#: emit without it.  Every other declared field is required — ``id`` (the
+#: per-bio identity :class:`repro.obs.spans.SpanTracker` keys spans on)
+#: and ``ctl`` (the throttling controller's name, separating iocost from
+#: blk-throttle from device-queue blame in stacked configurations) among
+#: them.  An emit that skips a required field raises :class:`TraceError`,
+#: and the ``trace-catalogue`` simlint rule enforces the same contract
+#: statically.
 OPTIONAL_FIELDS: FrozenSet[str] = frozenset({"dev"})
 
 
@@ -139,6 +148,8 @@ class TracePoint:
                 f"tracepoint {self.name!r} emitted without required "
                 f"field(s) {sorted(missing)}"
             )
+        if PROF.enabled:
+            PROF.note_emit(self.name)
         event = TraceEvent(self.name, time, fields)
         for subscriber in self.subscribers:
             subscriber(event)

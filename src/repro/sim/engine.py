@@ -22,6 +22,8 @@ import heapq
 import itertools
 from typing import Any, Callable, Generator, List, Optional
 
+from repro.obs.prof import PROF
+
 
 class SimulationError(RuntimeError):
     """Raised for invalid engine usage (e.g. bad yield values)."""
@@ -172,6 +174,8 @@ class Simulator:
         #: Callbacks dispatched so far — the denominator for per-event
         #: overhead accounting (repro.obs.overhead).
         self.events_processed = 0
+        # Cached self-profiler (same zero-cost guard pattern as tracepoints).
+        self._prof = PROF
 
     # -- scheduling -------------------------------------------------------
 
@@ -180,6 +184,8 @@ class Simulator:
         if delay < 0:
             raise SimulationError("cannot schedule into the past")
         event = Event(self.now + delay, next(self._seq), callback, args)
+        if self._prof.enabled:
+            self._prof.heap_pushes += 1
         heapq.heappush(self._heap, event)
         return event
 
@@ -201,12 +207,17 @@ class Simulator:
 
     def step(self) -> bool:
         """Run the next pending event.  Returns False if the heap is empty."""
+        prof = self._prof
         while self._heap:
             event = heapq.heappop(self._heap)
+            if prof.enabled:
+                prof.heap_pops += 1
             if event.cancelled:
                 continue
             self.now = event.time
             self.events_processed += 1
+            if prof.enabled:
+                prof.events_dispatched += 1
             event.callback(*event.args)
             return True
         return False

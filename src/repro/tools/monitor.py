@@ -23,7 +23,7 @@ single-device testbeds behave exactly as before.
 
 CLI use (re-render a saved stream)::
 
-    python -m repro.tools.monitor run.jsonl --last 3 [--device vdb|8:16]
+    python -m repro.tools.monitor run.jsonl --last 3 [--device vdb|8:16] [--json]
 
 The monitor is strictly read-only: attaching it never changes simulation
 results (guarded by ``tests/integration/test_monitor.py``).
@@ -224,6 +224,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--device", default=None, metavar="DEV",
         help="only render snapshots of this device (spec name or maj:min id)",
     )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="emit the selected snapshots as JSONL instead of tables "
+        "(machine-readable; composes with --last/--device)",
+    )
     args = parser.parse_args(argv)
     try:
         with open(args.trace) as stream:
@@ -245,7 +250,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     if not snapshots:
         print("(no snapshots)", file=sys.stderr)
         return 1
-    print(render_snapshots(snapshots))
+    if args.json:
+        for snap in snapshots:
+            print(snap.to_json())
+    else:
+        print(render_snapshots(snapshots))
     return 0
 
 

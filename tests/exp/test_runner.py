@@ -230,3 +230,29 @@ class TestTraceCapture:
         assert lines
         event = json.loads(lines[0])
         assert event["event"] == "bio_complete"
+
+    def test_trace_spans_breakdown_in_result(self, tmp_path):
+        spec = ExperimentSpec(
+            name="spanned",
+            kind="testbed",
+            base={
+                "device_scale": 0.05,
+                "duration": 0.1,
+                "cgroups": {"solo": 100},
+                "workloads": [{"cgroup": "solo", "type": "saturate", "depth": 4}],
+                "trace_spans": True,
+            },
+        )
+        store = ArtifactStore(tmp_path)
+        report = run_sweep(spec, store, workers=1)
+        outcome = report.outcomes[0]
+        assert outcome.ok
+        result = store.read_json(outcome.run.run_hash, "result.json")
+        spans = result["spans"]
+        assert spans["completed"] > 0
+        rollup = spans["breakdown"]
+        assert rollup["count"] == spans["completed"]
+        stage_total = sum(
+            stage["total_usec"] for stage in rollup["stages"].values()
+        )
+        assert stage_total == rollup["end_to_end"]["total_usec"]

@@ -108,6 +108,20 @@ class TestRendering:
         path.write_text("")
         assert monitor_cli.main([str(path)]) == 1
 
+    def test_cli_json_mode_emits_jsonl(self, tmp_path, capsys):
+        path = tmp_path / "run.jsonl"
+        with open(path, "w") as stream:
+            run_monitored(stream=stream)
+        assert monitor_cli.main([str(path), "--last", "2", "--json"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 2
+        payloads = [json.loads(line) for line in lines]
+        assert all("vrate" in p and "groups" in p for p in payloads)
+        # --json output is itself a loadable monitor stream (lossless).
+        reparsed = tmp_path / "reparsed.jsonl"
+        reparsed.write_text("\n".join(lines) + "\n")
+        assert monitor_cli.main([str(reparsed)]) == 0
+
 
 class TestSnapshotFormat:
     def test_roundtrip(self):

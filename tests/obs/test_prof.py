@@ -1,0 +1,157 @@
+"""The deterministic engine self-profiler (repro.obs.prof)."""
+
+from collections import deque
+
+import numpy as np
+import pytest
+
+from repro.block.bio import Bio, IOOp
+from repro.block.device import Device
+from repro.block.device_models import SSD_NEW
+from repro.block.layer import BlockLayer
+from repro.cgroup import CgroupTree
+from repro.obs.prof import PROF, SimProfiler
+from repro.obs.trace import TRACE
+from repro.sim import Simulator
+from repro.testbed import make_controller
+
+BIOS = 500
+DEPTH = 16
+
+
+@pytest.fixture(autouse=True)
+def clean_profiler():
+    """PROF is process-global; never leak state across tests."""
+    PROF.disable().reset()
+    yield
+    PROF.disable().reset()
+
+
+def run_rig(bios=BIOS):
+    """Small deterministic closed-loop run; returns the layer."""
+    sim = Simulator()
+    device = Device(sim, SSD_NEW, np.random.default_rng(0))
+    controller = make_controller("iocost", SSD_NEW)
+    layer = BlockLayer(sim, device, controller)
+    group = CgroupTree().create("prof")
+    rng = np.random.default_rng(1)
+
+    def worker():
+        issued = 0
+        signals = deque()
+        while issued < bios or signals:
+            while issued < bios and len(signals) < DEPTH:
+                sector = int(rng.integers(0, 1 << 30)) * 8
+                signals.append(layer.submit(Bio(IOOp.READ, 4096, sector, group)))
+                issued += 1
+            signal = signals.popleft()
+            if not signal.fired:
+                yield signal
+        controller.detach()
+
+    sim.process(worker(), name="prof-rig")
+    sim.run()
+    return layer
+
+
+class TestLifecycle:
+    def test_disabled_by_default_and_counts_nothing(self):
+        run_rig(bios=50)
+        assert PROF.total_checks == 0
+        assert PROF.snapshot()["bios_completed"] == 0
+
+    def test_context_manager_enables_and_disables(self):
+        with PROF as prof:
+            assert prof.enabled
+        assert not PROF.enabled
+
+    def test_reset_zeroes_counters_not_flag(self):
+        PROF.enable()
+        PROF.bios_submitted = 7
+        PROF.note_emit("bio_submit")
+        PROF.reset()
+        assert PROF.enabled
+        assert PROF.bios_submitted == 0
+        assert PROF.emits_by_point == {}
+
+
+class TestCounting:
+    def test_counts_engine_work(self):
+        with PROF:
+            run_rig()
+        snap = PROF.snapshot()
+        assert snap["bios_submitted"] == BIOS
+        assert snap["bios_issued"] == BIOS
+        assert snap["bios_completed"] == BIOS
+        # Every bio needs at least one device-completion event, plus the
+        # worker wake-ups and controller timers.
+        assert snap["events_dispatched"] >= BIOS
+        assert snap["heap_pushes"] >= snap["events_dispatched"]
+        assert snap["heap_pops"] >= snap["events_dispatched"]
+        assert snap["pump_calls"] >= BIOS  # one per submit at minimum
+
+    def test_deterministic_across_runs(self):
+        with PROF:
+            run_rig()
+        first = PROF.snapshot()
+        PROF.reset()
+        with PROF:
+            run_rig()
+        assert PROF.snapshot() == first
+
+    def test_emits_counted_when_tracing_enabled(self):
+        events = []
+        subscription = TRACE.subscribe(events.append)
+        try:
+            with PROF:
+                run_rig(bios=50)
+        finally:
+            subscription.close()
+        emitted = sum(PROF.emits_by_point.values())
+        assert emitted == len(events)
+        assert PROF.emits_by_point["bio_submit"] == 50
+        # Emissions are not part of total_checks (separate guard flag).
+        assert PROF.total_checks == sum(
+            PROF.snapshot()[name] for name in SimProfiler.COUNTERS
+        )
+
+    def test_no_emit_counts_while_tracing_disabled(self):
+        with PROF:
+            run_rig(bios=50)
+        assert PROF.emits_by_point == {}
+
+
+class TestReporting:
+    def test_per_bio_amplification(self):
+        with PROF:
+            run_rig()
+        per_bio = PROF.per_bio()
+        assert per_bio is not None
+        assert per_bio["bios_submitted"] == pytest.approx(1.0)
+        assert per_bio["events_dispatched"] >= 1.0
+        assert "bios_completed" not in per_bio
+
+    def test_per_bio_none_when_idle(self):
+        assert PROF.per_bio() is None
+
+    def test_describe_lists_counters(self):
+        with PROF:
+            run_rig(bios=50)
+        text = PROF.describe()
+        assert "bios_completed=50" in text
+        assert "heap_pushes=" in text
+
+    def test_snapshot_is_json_able(self):
+        import json
+
+        with PROF:
+            run_rig(bios=50)
+        assert json.loads(json.dumps(PROF.snapshot()))["bios_submitted"] == 50
+
+    def test_profiling_does_not_change_results(self):
+        baseline = run_rig()
+        events_off = baseline.sim.events_processed
+        with PROF:
+            tracked = run_rig()
+        assert tracked.sim.events_processed == events_off
+        assert tracked.completed_bytes == baseline.completed_bytes

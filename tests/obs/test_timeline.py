@@ -1,0 +1,137 @@
+"""Chrome trace-event export of bio spans (repro.obs.timeline)."""
+
+import io
+import json
+
+import pytest
+
+from repro.obs.spans import QUEUE_WAIT, SERVICE, THROTTLE_PREFIX, Annotation, Span
+from repro.obs.timeline import (
+    to_chrome_trace,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+
+
+def make_span(bio_id=1, cgroup="/ws", dev="8:0", submit=0, issue=30, complete=100,
+              stages=None, annotations=()):
+    if stages is None:
+        stages = ((QUEUE_WAIT, issue - submit), (SERVICE, complete - issue))
+    return Span(
+        dev=dev, bio_id=bio_id, cgroup=cgroup, op="read", nbytes=4096,
+        submit_usec=submit, issue_usec=issue, complete_usec=complete,
+        stages=tuple(stages), annotations=tuple(annotations),
+    )
+
+
+class TestExport:
+    def test_stages_tile_the_span(self):
+        span = make_span(
+            stages=((QUEUE_WAIT, 10), (THROTTLE_PREFIX + "iocost", 20),
+                    (SERVICE, 70)),
+        )
+        trace = to_chrome_trace([span])
+        slices = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        assert [s["name"] for s in slices] == [
+            QUEUE_WAIT, THROTTLE_PREFIX + "iocost", SERVICE,
+        ]
+        # Slices are back-to-back and cover submit..complete exactly.
+        cursor = span.submit_usec
+        for piece in slices:
+            assert piece["ts"] == cursor
+            cursor += piece["dur"]
+        assert cursor == span.complete_usec
+
+    def test_track_layout_pid_per_cgroup_tid_per_dev(self):
+        spans = [
+            make_span(bio_id=1, cgroup="/a", dev="8:0"),
+            make_span(bio_id=2, cgroup="/b", dev="8:16"),
+        ]
+        trace = to_chrome_trace(spans)
+        process_names = {
+            e["pid"]: e["args"]["name"]
+            for e in trace["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "process_name"
+        }
+        assert sorted(process_names.values()) == ["/a", "/b"]
+        slices = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        pids = {e["pid"] for e in slices}
+        tids = {e["tid"] for e in slices}
+        assert len(pids) == 2 and len(tids) == 2
+        thread_names = {
+            e["args"]["name"]
+            for e in trace["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        }
+        assert thread_names == {"dev 8:0", "dev 8:16"}
+
+    def test_annotations_become_instants(self):
+        span = make_span(
+            annotations=(Annotation(time_usec=5, event="debt_pay",
+                                    detail="kind=charge amount=1"),),
+        )
+        trace = to_chrome_trace([span])
+        instants = [e for e in trace["traceEvents"] if e["ph"] == "i"]
+        assert len(instants) == 1
+        assert instants[0]["name"] == "debt_pay"
+        assert instants[0]["ts"] == 5
+        assert instants[0]["s"] == "t"
+
+    def test_args_carry_bio_identity(self):
+        trace = to_chrome_trace([make_span(bio_id=42)])
+        piece = next(e for e in trace["traceEvents"] if e["ph"] == "X")
+        assert piece["args"]["bio"] == 42
+        assert piece["args"]["op"] == "read"
+        assert piece["args"]["nbytes"] == 4096
+
+    def test_empty_span_list(self):
+        trace = to_chrome_trace([])
+        assert trace["traceEvents"] == []
+        assert validate_chrome_trace(trace) == (0, 0)
+
+
+class TestRoundTrip:
+    def test_write_is_json_loadable_and_valid(self):
+        spans = [
+            make_span(bio_id=i, submit=i * 10, issue=i * 10 + 3,
+                      complete=i * 10 + 50)
+            for i in range(5)
+        ]
+        stream = io.StringIO()
+        count = write_chrome_trace(spans, stream)
+        loaded = json.loads(stream.getvalue())
+        assert len(loaded["traceEvents"]) == count
+        slices, instants = validate_chrome_trace(loaded)
+        assert slices == 10  # 2 stages x 5 spans
+        assert instants == 0
+        assert loaded["displayTimeUnit"] == "ms"
+
+
+class TestValidation:
+    def test_rejects_missing_container(self):
+        with pytest.raises(ValueError):
+            validate_chrome_trace({})
+
+    def test_rejects_non_list(self):
+        with pytest.raises(ValueError):
+            validate_chrome_trace({"traceEvents": "nope"})
+
+    def test_rejects_unknown_phase(self):
+        with pytest.raises(ValueError):
+            validate_chrome_trace(
+                {"traceEvents": [{"ph": "Z", "pid": 1, "name": "x"}]}
+            )
+
+    def test_rejects_slice_without_duration(self):
+        with pytest.raises(ValueError):
+            validate_chrome_trace(
+                {"traceEvents": [{"ph": "X", "pid": 1, "name": "x", "ts": 0}]}
+            )
+
+    def test_rejects_negative_duration(self):
+        with pytest.raises(ValueError):
+            validate_chrome_trace(
+                {"traceEvents": [
+                    {"ph": "X", "pid": 1, "name": "x", "ts": 0, "dur": -1}
+                ]}
+            )

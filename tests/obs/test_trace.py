@@ -282,3 +282,81 @@ class TestReplayBridge:
         TraceReplayer(sim2, layer2, tree2, records).start()
         sim2.run(until=0.05)
         assert replayed == [1]
+
+
+class TestCataloguedRoundTrip:
+    """Satellite contract: every catalogued event survives JSONL intact."""
+
+    #: Deterministic sample value per field name, covering every type the
+    #: emit sites actually use (strings, ints, floats, bools).
+    SAMPLES = {
+        "dev": "8:16",
+        "id": 31,
+        "cgroup": "workload.slice/app",
+        "op": "read",
+        "nbytes": 4096,
+        "sector": 2048,
+        "flags": 2,
+        "prio": 1,
+        "reason": "budget",
+        "ctl": "iocost",
+        "wait": 3.5e-5,
+        "submit_time": 0.25,
+        "latency": 1.25e-4,
+        "device_latency": 9e-5,
+        "vrate": 1.375,
+        "busy_level": -2,
+        "saturated": True,
+        "starved": False,
+        "read_p": 1.1e-4,
+        "write_p": 2.2e-4,
+        "period": 0.05,
+        "active_groups": 3,
+        "budget_blocked": 7,
+        "donors": 2,
+        "donated_total": 0.4,
+        "kind": "charge",
+        "amount": 1e-4,
+        "debt": 2e-3,
+        "requester": "workload.slice",
+        "victim": "system.slice",
+        "free_bytes": 1 << 20,
+        "owner": "a",
+        "charged_to": "b",
+    }
+
+    @pytest.mark.parametrize("name", sorted(EVENT_CATALOGUE))
+    def test_event_round_trips_through_jsonl(self, name):
+        fields = EVENT_CATALOGUE[name]
+        missing = set(fields) - set(self.SAMPLES)
+        assert not missing, f"add SAMPLES for new field(s) {sorted(missing)}"
+
+        registry = TraceRegistry()
+        buffer = TraceBuffer().attach(registry)
+        payload = {field: self.SAMPLES[field] for field in fields}
+        registry.point(name).emit(0.125, **payload)
+
+        stream = io.StringIO()
+        assert buffer.save(stream) == 1
+        stream.seek(0)
+        (loaded,) = load_events(stream)
+        assert loaded == TraceEvent(name, 0.125, payload)
+        # Types survive too (json round-trip must not coerce).
+        for field, value in payload.items():
+            assert type(loaded.fields[field]) is type(value), field
+
+    @pytest.mark.parametrize("name", sorted(EVENT_CATALOGUE))
+    def test_event_round_trips_without_optional_fields(self, name):
+        fields = EVENT_CATALOGUE[name]
+        required = [field for field in fields if field not in OPTIONAL_FIELDS]
+        if len(required) == len(fields):
+            pytest.skip("event has no optional fields")
+        registry = TraceRegistry()
+        buffer = TraceBuffer().attach(registry)
+        payload = {field: self.SAMPLES[field] for field in required}
+        registry.point(name).emit(0.25, **payload)
+        stream = io.StringIO()
+        buffer.save(stream)
+        stream.seek(0)
+        (loaded,) = load_events(stream)
+        assert loaded == TraceEvent(name, 0.25, payload)

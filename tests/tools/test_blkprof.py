@@ -1,0 +1,145 @@
+"""The blkprof CLI (spans / breakdown / timeline / prof) and engine_bench."""
+
+import json
+
+import pytest
+
+from repro.obs.trace import TRACE, TraceBuffer
+from repro.testbed import Testbed
+from repro.tools import blkprof, engine_bench
+
+
+@pytest.fixture(autouse=True)
+def clean_registry():
+    TRACE.reset()
+    yield
+    TRACE.reset()
+
+
+@pytest.fixture(scope="module")
+def trace_file(tmp_path_factory):
+    """A real trace JSONL from a small iocost testbed run."""
+    TRACE.reset()
+    bed = Testbed(device="ssd_new", controller="iocost")
+    group = bed.add_cgroup("ws", weight=100)
+    buffer = TraceBuffer().attach(TRACE)
+    bed.saturate(group, depth=16)
+    bed.run(0.05)
+    buffer.detach()
+    bed.detach()
+    TRACE.reset()
+    path = tmp_path_factory.mktemp("blkprof") / "trace.jsonl"
+    with open(path, "w") as stream:
+        buffer.save(stream)
+    return path
+
+
+class TestSpansCommand:
+    def test_emits_jsonl_spans(self, capsys, trace_file):
+        assert blkprof.main(["spans", str(trace_file), "--limit", "3"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 3
+        span = json.loads(lines[0])
+        assert span["cgroup"] == "ws"
+        assert span["end_to_end_usec"] == sum(d for _, d in span["stages"])
+
+    def test_filter_mismatch_fails(self, capsys, trace_file):
+        assert blkprof.main(["spans", str(trace_file), "--cgroup", "nope"]) == 1
+        assert "no completed spans" in capsys.readouterr().err
+
+
+class TestBreakdownCommand:
+    def test_text_rollup(self, capsys, trace_file):
+        assert blkprof.main(["breakdown", str(trace_file)]) == 0
+        out = capsys.readouterr().out
+        assert "spans:" in out
+        assert "service" in out
+
+    def test_json_rollup_sums_exactly(self, capsys, trace_file):
+        assert blkprof.main(["breakdown", str(trace_file), "--json"]) == 0
+        rollup = json.loads(capsys.readouterr().out)
+        stage_total = sum(s["total_usec"] for s in rollup["stages"].values())
+        assert stage_total == rollup["end_to_end"]["total_usec"]
+
+
+class TestTimelineCommand:
+    def test_writes_valid_chrome_trace(self, capsys, trace_file, tmp_path):
+        out_path = tmp_path / "timeline.json"
+        assert blkprof.main(
+            ["timeline", str(trace_file), "-o", str(out_path)]
+        ) == 0
+        assert "perfetto" in capsys.readouterr().out
+        from repro.obs.timeline import validate_chrome_trace
+
+        trace = json.loads(out_path.read_text())
+        slices, _instants = validate_chrome_trace(trace)
+        assert slices > 0
+
+
+class TestProfCommand:
+    def test_text_output(self, capsys):
+        assert blkprof.main(["prof", "--bios", "300"]) == 0
+        out = capsys.readouterr().out
+        assert "bios_completed" in out
+        assert "300" in out
+
+    def test_json_output(self, capsys):
+        assert blkprof.main(["prof", "--bios", "300", "--json"]) == 0
+        counters = json.loads(capsys.readouterr().out)
+        assert counters["bios_completed"] == 300
+        assert counters["per_bio"]["bios_submitted"] == pytest.approx(1.0)
+
+
+class TestErrorPaths:
+    def test_missing_file(self, capsys):
+        assert blkprof.main(["breakdown", "/nonexistent/trace.jsonl"]) == 1
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_garbage_file(self, capsys, tmp_path):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"no-event-key": 1}\n')
+        assert blkprof.main(["spans", str(bad)]) == 1
+        assert "not a trace JSONL" in capsys.readouterr().err
+
+
+class TestEngineBench:
+    def test_emits_artifact_and_passes_own_floor(self, capsys, tmp_path):
+        out = tmp_path / "BENCH_engine.json"
+        assert engine_bench.main(
+            ["--bios", "2000", "--repeat", "1", "--out", str(out)]
+        ) == 0
+        result = json.loads(out.read_text())
+        assert result["schema"] == engine_bench.BENCH_SCHEMA
+        assert result["bios"] == 2000
+        assert result["bios_per_sec"] > 0
+        assert result["sim_profile"]["bios_completed"] == 2000
+        assert result["hotspots"], "cProfile found no hotspots?"
+        assert all("cumtime_sec" in row for row in result["hotspots"])
+
+        # A floor equal to the just-measured rate passes (within 30%).
+        floor = tmp_path / "floor.json"
+        floor.write_text(json.dumps({"bios_per_sec": result["bios_per_sec"]}))
+        assert engine_bench.main(
+            ["--bios", "2000", "--repeat", "1", "--out", str(out),
+             "--check-floor", str(floor)]
+        ) == 0
+
+    def test_floor_regression_fails(self, capsys, tmp_path):
+        out = tmp_path / "BENCH_engine.json"
+        floor = tmp_path / "floor.json"
+        floor.write_text(json.dumps({"bios_per_sec": 1e12}))
+        assert engine_bench.main(
+            ["--bios", "1000", "--repeat", "1", "--out", str(out),
+             "--check-floor", str(floor)]
+        ) == 1
+        assert "regression" in capsys.readouterr().out
+
+    def test_committed_floor_is_generous(self, tmp_path):
+        """The repo's committed floor must hold on this machine."""
+        from pathlib import Path
+
+        floor_path = Path(__file__).resolve().parents[2] / (
+            "benchmarks/BENCH_engine_floor.json"
+        )
+        result = engine_bench.run_bench(bios=5000, repeat=1, top=3)
+        assert engine_bench.check_floor(result, floor_path) is None
