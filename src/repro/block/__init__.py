@@ -1,6 +1,6 @@
 """Block layer substrate: bios, simulated devices, and the dispatch layer."""
 
-from repro.block.bio import Bio, BioFlags, IOOp, SECTOR_SIZE
+from repro.block.bio import Bio, BioFlags, BioStatus, IOOp, SECTOR_SIZE
 from repro.block.device import DEFAULT_DEVNO, Device, DeviceSpec
 from repro.block.device_models import DEVICE_CATALOG, get_device_spec
 from repro.block.layer import BlockLayer
@@ -10,6 +10,7 @@ from repro.block.trace import TraceRecord, TraceRecorder, TraceReplayer, load_tr
 __all__ = [
     "Bio",
     "BioFlags",
+    "BioStatus",
     "BlockLayer",
     "DEFAULT_DEVNO",
     "DEVICE_CATALOG",

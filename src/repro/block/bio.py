@@ -29,6 +29,22 @@ class IOOp(enum.Enum):
     WRITE = "write"
 
 
+class BioStatus(enum.Enum):
+    """Completion status (``blk_status_t`` analogue).
+
+    ``OK`` is the initial and success state.  ``EIO`` marks a device media
+    error (fault-injected, see :mod:`repro.faults`); ``TIMEOUT`` marks a
+    block-layer timeout (the request was aborted after ``io_timeout``).
+    Non-``OK`` bios are retried by the block layer up to ``max_retries``
+    with exponential backoff; the status on a *completed* bio is its final
+    outcome after all retries.
+    """
+
+    OK = "ok"
+    EIO = "eio"
+    TIMEOUT = "timeout"
+
+
 class BioFlags(enum.Flag):
     """Origin flags consumed by controllers.
 
@@ -62,6 +78,8 @@ class Bio:
         "sequential",
         "device_sequential",
         "abs_cost",
+        "status",
+        "retries",
     )
 
     def __init__(
@@ -100,10 +118,18 @@ class Bio:
         self.device_sequential: bool = False
         # Absolute occupancy cost assigned by the controller's cost model.
         self.abs_cost: float = 0.0
+        # Completion status; non-OK set by fault injection / timeout paths.
+        self.status: BioStatus = BioStatus.OK
+        # Times the block layer requeued this bio after an error/timeout.
+        self.retries: int = 0
 
     @property
     def is_write(self) -> bool:
         return self.op is IOOp.WRITE
+
+    @property
+    def ok(self) -> bool:
+        return self.status is BioStatus.OK
 
     @property
     def end_sector(self) -> int:

@@ -28,13 +28,16 @@ from __future__ import annotations
 import math
 from collections import deque
 from dataclasses import dataclass, field, replace
-from typing import Callable, Deque, List, Optional
+from typing import TYPE_CHECKING, Callable, Deque, Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.block.bio import Bio
+from repro.block.bio import Bio, BioStatus
 from repro.obs.trace import TRACE
-from repro.sim import Simulator
+from repro.sim import Event, Simulator
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.faults import FaultPlan
 
 
 @dataclass(frozen=True)
@@ -142,6 +145,7 @@ class Device:
         *,
         name: Optional[str] = None,
         devno: str = DEFAULT_DEVNO,
+        faults: Optional["FaultPlan"] = None,
     ):
         self.sim = sim
         self.spec = spec
@@ -162,12 +166,24 @@ class Device:
         self._gc_updated = 0.0
         # Provisioned-IOPS token clock (time the next request may start).
         self._token_time = 0.0
+        # Fault injection (repro.faults): requests in service are tracked by
+        # bio id so a hung or timed-out request can be aborted; hung bios
+        # hold their channel with no completion scheduled.
+        self.faults = faults
+        self._inservice: Dict[int, Event] = {}
+        self._hung: Dict[int, Tuple[Bio, float]] = {}
         # Statistics.
         self.completed_ios = 0
         self.completed_bytes = 0
+        self.errored_ios = 0
+        self.aborted_ios = 0
         self.gc_slow_ios = 0
-        # Cached tracepoint (single flag check when tracing is disabled).
+        # Cached tracepoints (single flag check when tracing is disabled).
         self._tp_complete = TRACE.points["bio_complete"]
+        self._tp_fault_begin = TRACE.points["dev_fault_begin"]
+        self._tp_fault_end = TRACE.points["dev_fault_end"]
+        if faults is not None:
+            self._schedule_fault_windows(faults)
 
     # -- public interface ---------------------------------------------------
 
@@ -290,20 +306,39 @@ class Device:
             start = max(self.sim.now, self._token_time)
             self._token_time = start + interval
             delay = start - self.sim.now
-        self.sim.schedule(delay + self._service_time(bio), self._complete, bio)
+        # The service-time draw happens before the fault decision so the
+        # noise stream consumed is identical with and without a fault plan.
+        service = self._service_time(bio)
+        if self.faults is not None:
+            decision = self.faults.decide(self.sim.now, bio)
+            service *= decision.latency_mult
+            delay += decision.delay
+            if decision.error:
+                bio.status = BioStatus.EIO
+            if decision.hang:
+                # Parked: channel held, no completion scheduled.  Resumes at
+                # the hang window's end or is reclaimed by abort().
+                self._hung[bio.id] = (bio, delay + service)
+                return
+        self._inservice[bio.id] = self.sim.schedule(delay + service, self._complete, bio)
 
     def _complete(self, bio: Bio) -> None:
+        self._inservice.pop(bio.id, None)
         self._busy_channels -= 1
-        self.completed_ios += 1
-        self.completed_bytes += bio.nbytes
+        if bio.status is BioStatus.OK:
+            self.completed_ios += 1
+            self.completed_bytes += bio.nbytes
+        else:
+            self.errored_ios += 1
         nxt = self._pop_next()
         if nxt is not None:
             self._begin(nxt)
         if self.on_complete is not None:
             self.on_complete(bio)
         # Emitted after the block layer's completion hook so the bio's
-        # complete_time / latency properties are populated.
-        if self._tp_complete.enabled and bio.complete_time is not None:
+        # complete_time / latency properties are populated.  Failed bios get
+        # ``bio_error`` from the block layer instead (after retries).
+        if self._tp_complete.enabled and bio.ok and bio.complete_time is not None:
             self._tp_complete.emit(
                 self.sim.now,
                 dev=self.devno,
@@ -318,3 +353,82 @@ class Device:
                 latency=bio.latency,
                 device_latency=bio.device_latency,
             )
+
+    # -- fault injection ------------------------------------------------------
+
+    def abort(self, bio: Bio) -> bool:
+        """Forget a dispatched bio without completing it (timeout reclaim).
+
+        Covers every place the bio can be: parked in a hang, in service
+        (its completion event is cancelled), or still in an internal queue.
+        A freed service channel immediately begins the next queued request.
+        Returns False when the device does not hold the bio.
+        """
+        parked = self._hung.pop(bio.id, None)
+        if parked is not None:
+            self.aborted_ios += 1
+            self._free_channel()
+            return True
+        event = self._inservice.pop(bio.id, None)
+        if event is not None:
+            event.cancel()
+            self.aborted_ios += 1
+            self._free_channel()
+            return True
+        for queue in (self._read_queue, self._write_queue):
+            try:
+                queue.remove(bio)
+            except ValueError:
+                continue
+            self.aborted_ios += 1
+            return True
+        return False
+
+    def _free_channel(self) -> None:
+        self._busy_channels -= 1
+        nxt = self._pop_next()
+        if nxt is not None:
+            self._begin(nxt)
+
+    def _schedule_fault_windows(self, plan: "FaultPlan") -> None:
+        # Boundaries are scheduled unconditionally (not trace-gated) so a
+        # finite hang resumes its parked bios whether or not anyone traces.
+        for index, fault in enumerate(plan.faults):
+            self.sim.schedule(
+                max(0.0, fault.start - self.sim.now), self._fault_begin, index, fault
+            )
+            if math.isfinite(fault.end):
+                self.sim.schedule(
+                    max(0.0, fault.end - self.sim.now), self._fault_end, index, fault
+                )
+
+    def _fault_begin(self, index: int, fault: object) -> None:
+        if self._tp_fault_begin.enabled:
+            end = fault.end  # type: ignore[attr-defined]
+            self._tp_fault_begin.emit(
+                self.sim.now,
+                dev=self.devno,
+                kind=fault.kind,  # type: ignore[attr-defined]
+                index=index,
+                until=end if math.isfinite(end) else -1.0,
+            )
+
+    def _fault_end(self, index: int, fault: object) -> None:
+        if self._tp_fault_end.enabled:
+            self._tp_fault_end.emit(
+                self.sim.now,
+                dev=self.devno,
+                kind=fault.kind,  # type: ignore[attr-defined]
+                index=index,
+            )
+        if fault.kind == "hang":  # type: ignore[attr-defined]
+            self._resume_hung()
+
+    def _resume_hung(self) -> None:
+        """Un-park hung bios (hang window ended — a controller reset)."""
+        if self.faults is not None and self.faults.hang_active(self.sim.now):
+            return  # another hang window still covers now
+        parked = list(self._hung.values())
+        self._hung.clear()
+        for bio, remaining in parked:
+            self._inservice[bio.id] = self.sim.schedule(remaining, self._complete, bio)

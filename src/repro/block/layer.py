@@ -10,20 +10,28 @@ kernel block layer provides around them:
 * cgroup-relative sequentiality detection (the cost-model feature of §3.2);
 * per-device and per-cgroup completion-latency windows (QoS signals);
 * the serialized issue-path CPU-cost model for Figure 9 (see
-  :mod:`repro.controllers.base`).
+  :mod:`repro.controllers.base`);
+* the error/timeout path (docs/FAULTS.md): a dispatched bio that the device
+  fails (:mod:`repro.faults`) or that outlives ``io_timeout`` is requeued
+  with exponential backoff up to ``max_retries``, then completed with its
+  terminal non-OK status.  Every path — success, retry, final error,
+  timeout — releases the bio's request slot exactly once, so queue depth
+  never leaks; failed bios still feed the per-cgroup latency windows, which
+  is how IOCost's QoS loop sees (and reacts to) device degradation.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, Optional
+from collections import deque
+from typing import TYPE_CHECKING, Deque, Dict, Optional
 
 from repro.analysis.stats import LatencyWindow
-from repro.block.bio import Bio
+from repro.block.bio import Bio, BioStatus
 from repro.block.device import Device
 from repro.cgroup import Cgroup
 from repro.obs.prof import PROF
 from repro.obs.trace import TRACE
-from repro.sim import Signal, Simulator
+from repro.sim import Event, Signal, Simulator
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.cgroup import CgroupTree
@@ -37,13 +45,23 @@ class BlockLayerError(RuntimeError):
 class BlockLayer:
     """One device's block layer instance."""
 
+    #: First-retry backoff; retry ``n`` waits ``RETRY_BACKOFF * 2**(n-1)``.
+    RETRY_BACKOFF = 1e-3
+
     def __init__(
         self,
         sim: Simulator,
         device: Device,
         controller: IOController,
         latency_window: float = 1.0,
+        io_timeout: Optional[float] = None,
+        max_retries: int = 3,
+        retry_backoff: Optional[float] = None,
     ) -> None:
+        if io_timeout is not None and io_timeout <= 0:
+            raise BlockLayerError("io_timeout must be positive (or None)")
+        if max_retries < 0:
+            raise BlockLayerError("max_retries must be >= 0")
         self.sim = sim
         self.device = device
         self.controller = controller
@@ -51,6 +69,17 @@ class BlockLayer:
         self.dev = device.devno
         device.on_complete = self._device_completed
         controller.attach(self)
+
+        #: Abort a dispatched bio that has not completed after this many
+        #: simulated seconds (None disables timeout detection).
+        self.io_timeout = io_timeout
+        self.max_retries = max_retries
+        self.retry_backoff = retry_backoff if retry_backoff is not None else self.RETRY_BACKOFF
+        #: Armed timeout timers by bio id (io_timeout runs only).
+        self._timeouts: Dict[int, Event] = {}
+        #: Backed-off retries whose slot was not free when the backoff
+        #: expired; drained ahead of controller dispatch as slots return.
+        self._retryq: Deque[Bio] = deque()
 
         self.inflight = 0
         self.read_latency = LatencyWindow(latency_window)
@@ -65,16 +94,25 @@ class BlockLayer:
         # is disabled (see repro.obs.trace).
         self._tp_submit = TRACE.points["bio_submit"]
         self._tp_issue = TRACE.points["bio_issue"]
+        self._tp_error = TRACE.points["bio_error"]
+        self._tp_requeue = TRACE.points["bio_requeue"]
         # Cached self-profiler (same zero-cost guard pattern, repro.obs.prof).
         self._prof = PROF
 
-        # Statistics.
+        # Statistics.  ``completed_ios`` counts every *finished* bio (OK or
+        # terminally failed); ``completed_bytes`` and the per-cgroup maps
+        # count successes only, so iops_of() stays a success rate.
         self.submitted_ios = 0
         self.completed_ios = 0
         self.completed_bytes = 0
         self.depleted_events = 0
+        self.errored_ios = 0
+        self.timed_out_ios = 0
+        self.requeued_ios = 0
         self.completed_by_cgroup: Dict[str, int] = {}
         self.bytes_by_cgroup: Dict[str, int] = {}
+        self.errors_by_cgroup: Dict[str, int] = {}
+        self.requeues_by_cgroup: Dict[str, int] = {}
 
     # -- submission ---------------------------------------------------------
 
@@ -152,23 +190,74 @@ class BlockLayer:
                 wait=bio.issue_time - bio.submit_time,
             )
         self.device.submit(bio)
+        if self.io_timeout is not None:
+            self._timeouts[bio.id] = self.sim.schedule(
+                self.io_timeout, self._timed_out, bio
+            )
 
-    # -- completion ------------------------------------------------------------
+    # -- completion / failure --------------------------------------------------
 
     def _device_completed(self, bio: Bio) -> None:
-        bio.complete_time = self.sim.now
+        timer = self._timeouts.pop(bio.id, None)
+        if timer is not None:
+            timer.cancel()
+        self._finish(bio)
+
+    def _timed_out(self, bio: Bio) -> None:
+        """Timeout timer fired: reclaim the bio from the device and fail it."""
+        self._timeouts.pop(bio.id, None)
+        bio.status = BioStatus.TIMEOUT
+        self.timed_out_ios += 1
+        if not self.device.abort(bio):
+            raise BlockLayerError(
+                f"timed-out bio #{bio.id} was not held by the device"
+            )
+        self._finish(bio)
+
+    def _finish(self, bio: Bio) -> None:
+        """Single exit for every completion path (success, error, timeout).
+
+        Releases the request slot exactly once per dispatch, then either
+        requeues the bio (retryable failure) or completes it for good.
+        """
         self.inflight -= 1
+        if bio.status is not BioStatus.OK and bio.retries < self.max_retries:
+            self._requeue(bio)
+            self._drain_retries()
+            self.controller.pump()
+            return
+
+        bio.complete_time = self.sim.now
         self.completed_ios += 1
         if self._prof.enabled:
             self._prof.bios_completed += 1
-        self.completed_bytes += bio.nbytes
         path = bio.cgroup.path
-        self.completed_by_cgroup[path] = self.completed_by_cgroup.get(path, 0) + 1
-        self.bytes_by_cgroup[path] = self.bytes_by_cgroup.get(path, 0) + bio.nbytes
+        if bio.ok:
+            self.completed_bytes += bio.nbytes
+            self.completed_by_cgroup[path] = self.completed_by_cgroup.get(path, 0) + 1
+            self.bytes_by_cgroup[path] = self.bytes_by_cgroup.get(path, 0) + bio.nbytes
+        else:
+            self.errored_ios += 1
+            self.errors_by_cgroup[path] = self.errors_by_cgroup.get(path, 0) + 1
+            bio.cgroup.stats.device(self.dev).errors += 1
+            if self._tp_error.enabled:
+                self._tp_error.emit(
+                    self.sim.now,
+                    dev=self.dev,
+                    id=bio.id,
+                    cgroup=path,
+                    op=bio.op.value,
+                    nbytes=bio.nbytes,
+                    status=bio.status.value,
+                    retries=bio.retries,
+                )
         # io.stat wait accounting: wall time the bio spent above the device,
         # charged to this device's per-cgroup record.
         bio.cgroup.stats.device(self.dev).wait_total += bio.issue_time - bio.submit_time
 
+        # Failed bios feed the latency windows too: a timed-out bio records
+        # its full io_timeout, which is exactly the degraded-latency signal
+        # the QoS vrate loop must react to (graceful degradation).
         latency = bio.device_latency
         if bio.is_write:
             self.write_latency.record(self.sim.now, latency)
@@ -177,10 +266,52 @@ class BlockLayer:
         self.cgroup_window(path).record(self.sim.now, latency)
 
         self.controller.on_complete(bio)
+        self._drain_retries()
         self.controller.pump()
         if bio.completion is None:
             raise BlockLayerError("bio completed without passing submit()")
         bio.completion.fire(bio)
+
+    # -- retry ----------------------------------------------------------------
+
+    def _requeue(self, bio: Bio) -> None:
+        bio.retries += 1
+        self.requeued_ios += 1
+        path = bio.cgroup.path
+        self.requeues_by_cgroup[path] = self.requeues_by_cgroup.get(path, 0) + 1
+        bio.cgroup.stats.device(self.dev).requeues += 1
+        backoff = self.retry_backoff * (2 ** (bio.retries - 1))
+        if self._tp_requeue.enabled:
+            self._tp_requeue.emit(
+                self.sim.now,
+                dev=self.dev,
+                id=bio.id,
+                cgroup=path,
+                op=bio.op.value,
+                nbytes=bio.nbytes,
+                status=bio.status.value,
+                retries=bio.retries,
+                backoff=backoff,
+            )
+        self.sim.schedule(backoff, self._retry_ready, bio)
+
+    def _retry_ready(self, bio: Bio) -> None:
+        if self.can_dispatch():
+            self._redispatch(bio)
+        else:
+            self._retryq.append(bio)
+
+    def _redispatch(self, bio: Bio) -> None:
+        # The status resets per attempt; a terminal status is whatever the
+        # *last* attempt left behind.
+        bio.status = BioStatus.OK
+        self.dispatch(bio)
+
+    def _drain_retries(self) -> None:
+        # Requeued bios take slot priority over fresh controller dispatches
+        # (the kernel requeues to the front of the dispatch list).
+        while self._retryq and self.can_dispatch():
+            self._redispatch(self._retryq.popleft())
 
     def cgroup_window(self, path: str) -> LatencyWindow:
         """Per-cgroup completion-latency window (created on first use)."""
@@ -217,6 +348,10 @@ class BlockLayer:
         nbytes = self.bytes_by_cgroup.pop(path, 0)
         if nbytes:
             self.bytes_by_cgroup[parent] = self.bytes_by_cgroup.get(parent, 0) + nbytes
+        for counters in (self.errors_by_cgroup, self.requeues_by_cgroup):
+            count = counters.pop(path, 0)
+            if count:
+                counters[parent] = counters.get(parent, 0) + count
         self.cgroup_latency.pop(path, None)
 
     # -- convenience -------------------------------------------------------------

@@ -38,7 +38,10 @@ class IOStats:
     ``wait_total`` accumulates, at completion, the wall **seconds** each bio
     spent above the device (throttling + issue-path CPU); the io.stat
     surface reports it in microseconds via :attr:`wait_usec` — the single
-    place that conversion happens.
+    place that conversion happens.  ``errors`` counts bios that completed
+    with a terminal non-OK status and ``requeues`` block-layer retry
+    requeues (docs/FAULTS.md); both are filled in by the block layer's
+    completion path.
     """
 
     rbytes: int = 0
@@ -48,6 +51,8 @@ class IOStats:
     dbytes: int = 0
     dios: int = 0
     wait_total: float = 0.0
+    errors: int = 0
+    requeues: int = 0
 
     def account(self, is_write: bool, nbytes: int) -> None:
         if is_write:
@@ -138,6 +143,14 @@ class CgroupIOStats:
     @property
     def wait_usec(self) -> float:
         return self._sum("wait_usec")
+
+    @property
+    def errors(self) -> int:
+        return self._sum("errors")
+
+    @property
+    def requeues(self) -> int:
+        return self._sum("requeues")
 
     @property
     def total_bytes(self) -> int:

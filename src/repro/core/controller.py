@@ -94,6 +94,10 @@ class IOCost(IOController):
         self.debt_charged = 0.0
         self.rescinds = 0
         self.donation_passes = 0
+        #: Terminally failed bios observed at completion, and the absolute
+        #: cost they paid (charged at enqueue; never refunded on failure).
+        self.failed_ios = 0
+        self.failed_cost = 0.0
         # Cached tracepoints (single flag check each when tracing is off).
         self._tp_debt = TRACE.points["debt_pay"]
         self._tp_vrate = TRACE.points["vrate_adjust"]
@@ -278,7 +282,15 @@ class IOCost(IOController):
         self.pump()
 
     def on_complete(self, bio: Bio) -> None:
+        # Failed bios (device errors, timeouts — see docs/FAULTS.md) flow
+        # through here too: their degraded latency lands in the QoS windows,
+        # so the vrate loop reacts to a misbehaving device the same way it
+        # reacts to a saturated one.  Their cost was charged at enqueue and
+        # is never refunded — errored IO still pays (graceful degradation).
         latency = bio.device_latency
+        if not bio.ok:
+            self.failed_ios += 1
+            self.failed_cost += bio.abs_cost
         if bio.is_write:
             self._write_window.record(self.layer.sim.now, latency)
         else:

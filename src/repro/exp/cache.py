@@ -29,6 +29,7 @@ HIT = "hit"
 MISS_ABSENT = "absent"
 MISS_VERSION = "version-changed"
 MISS_FAILED = "failed-previously"
+MISS_TIMEOUT = "timed-out-previously"
 MISS_STALE = "stale-metadata"
 MISS_FORCED = "forced"
 
@@ -57,6 +58,8 @@ class ResultCache:
         meta = self.store.try_read_json(run_hash, META_FILE)
         if meta is None:
             return CacheDecision(hit=False, reason=MISS_ABSENT)
+        if meta.get("status") == "timeout":
+            return CacheDecision(hit=False, reason=MISS_TIMEOUT, meta=meta)
         if meta.get("status") != "ok":
             return CacheDecision(hit=False, reason=MISS_FAILED, meta=meta)
         result = self.store.try_read_json(run_hash, RESULT_FILE)
@@ -121,5 +124,6 @@ __all__ = [
     "MISS_FAILED",
     "MISS_FORCED",
     "MISS_STALE",
+    "MISS_TIMEOUT",
     "MISS_VERSION",
 ]

@@ -61,6 +61,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run_cmd.add_argument("--retries", type=int, default=1)
     run_cmd.add_argument(
+        "--timeout", type=float, default=None, metavar="SEC",
+        help="per-run wall-clock limit; expired runs are killed and "
+             "recorded with status 'timeout'",
+    )
+    run_cmd.add_argument(
         "--bench-json", default=None,
         help=f"perf-trajectory path (default <out>/{BENCH_FILE})",
     )
@@ -107,8 +112,9 @@ def _print_report(report: SweepReport) -> None:
     speedup = report.speedup_vs_serial
     print(
         f"\n{report.runs_total} runs: {report.cache_hits} cached, "
-        f"{report.executed} executed, {report.failures} failed; "
-        f"elapsed {report.elapsed_wall_sec:.2f}s"
+        f"{report.executed} executed, {report.failures} failed"
+        + (f" ({report.timeouts} timed out)" if report.timeouts else "")
+        + f"; elapsed {report.elapsed_wall_sec:.2f}s"
         + (f", speedup vs serial {speedup:.2f}x" if speedup is not None else "")
     )
 
@@ -123,6 +129,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         clock=wall_clock,
         force=args.force,
         retries=args.retries,
+        timeout_sec=args.timeout,
     )
     bench_path = (
         Path(args.bench_json) if args.bench_json else store.root / BENCH_FILE

@@ -17,6 +17,10 @@ Built-ins cover the repo's own sweep surfaces:
 * ``vrate_phases`` — the Figure 13 online model-update scenario.
 * ``mechanism_2to1`` — the two-container 2:1 comparison scenario that
   ``repro.tools.compare`` fans out over every Table 1 mechanism.
+* ``chaos`` — a testbed scenario with a device fault plan (repro.faults)
+  injected mid-run, measured phase-by-phase: the isolation-under-fault
+  figure (does the protected cgroup's read p99 hold to the QoS target
+  while the device misbehaves?).
 
 Results must be canonically serialisable (no NaN, no numpy scalars) —
 helpers here convert measurements to plain floats, keeping ``result.json``
@@ -30,6 +34,7 @@ from __future__ import annotations
 
 import dataclasses
 import importlib
+import math
 from typing import Any, Callable, Dict, List, Optional
 
 from repro.block.device_models import get_device_spec
@@ -37,6 +42,8 @@ from repro.controllers.blk_throttle import ThrottleLimits
 from repro.core.cost_model import LinearCostModel, ModelParams
 from repro.core.profiler import profile_device
 from repro.core.qos import QoSParams
+from repro.faults import plan_from_config
+from repro.obs.metrics import exact_percentile
 from repro.obs.spans import SpanTracker
 from repro.obs.trace import TRACE, TraceBuffer
 from repro.testbed import Testbed
@@ -147,26 +154,7 @@ def run_testbed(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
     if not isinstance(workload_table, list) or not workload_table:
         raise ExperimentError("testbed params need a 'workloads' list")
 
-    kwargs: Dict[str, Any] = {}
-    if "devices" in params:
-        kwargs["devices"] = {
-            name: _scaled_spec(spec_name, params)
-            for name, spec_name in params["devices"].items()
-        }
-    else:
-        kwargs["device"] = _device_spec(params)
-    if "controllers" in params:
-        kwargs["controllers"] = dict(params["controllers"])
-    else:
-        kwargs["controller"] = params.get("controller", "iocost")
-    for key in ("mem_bytes", "swap_bytes", "swap_device"):
-        if params.get(key) is not None:
-            kwargs[key] = params[key]
-    qos = _qos_from(params)
-    if qos is not None:
-        kwargs["qos"] = qos
-
-    bed = Testbed(seed=seed, **kwargs)
+    bed = Testbed(seed=seed, **_machine_kwargs(params))
     groups = {
         path: bed.add_cgroup(path, weight=int(weight))
         for path, weight in cgroup_table.items()
@@ -220,6 +208,29 @@ def _scaled_spec(name: str, params: Dict[str, Any]) -> Any:
     spec = get_device_spec(name)
     scale = params.get("device_scale")
     return spec if scale is None else spec.scaled(float(scale))
+
+
+def _machine_kwargs(params: Dict[str, Any]) -> Dict[str, Any]:
+    """Testbed constructor kwargs shared by the testbed-shaped kinds."""
+    kwargs: Dict[str, Any] = {}
+    if "devices" in params:
+        kwargs["devices"] = {
+            name: _scaled_spec(spec_name, params)
+            for name, spec_name in params["devices"].items()
+        }
+    else:
+        kwargs["device"] = _device_spec(params)
+    if "controllers" in params:
+        kwargs["controllers"] = dict(params["controllers"])
+    else:
+        kwargs["controller"] = params.get("controller", "iocost")
+    for key in ("mem_bytes", "swap_bytes", "swap_device"):
+        if params.get(key) is not None:
+            kwargs[key] = params[key]
+    qos = _qos_from(params)
+    if qos is not None:
+        kwargs["qos"] = qos
+    return kwargs
 
 
 def _attach_workload(
@@ -415,6 +426,172 @@ def run_mechanism_2to1(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
     }
 
 
+# -- chaos: isolation under device faults (repro.faults) ---------------------
+
+_PHASE_NAMES = ("pre", "fault", "post")
+
+
+@experiment("chaos")
+def run_chaos(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
+    """A testbed scenario with a device fault plan injected mid-run.
+
+    Accepts every ``testbed`` machine/workload param, plus::
+
+        faults          [{kind, start, duration, ...}] fault tables (required;
+                        see repro.faults.fault_from_dict)
+        fault_device    device name the plan attaches to (default: the data
+                        device)
+        protected       cgroup path held to the latency target
+                        (default: the first entry of 'cgroups')
+        latency_target  seconds (default: the qos read_lat_target)
+        io_timeout      block-layer bio timeout in seconds
+        max_retries     bounded-retry budget (default 3)
+        settle          drain window in seconds appended to the fault phase
+                        (default 0.05) — bios delayed by a stall or hang
+                        complete *after* the fault window closes, so the
+                        fault phase must cover the drain to see the damage
+        percentiles     read-latency percentiles per phase (default [50, 95, 99])
+
+    The run is split at the fault plan's envelope into ``pre`` / ``fault`` /
+    ``post`` phases (an unbounded hang extends the fault phase to the end of
+    the run; ``settle`` extends it past the last bounded fault).  Each phase
+    reports per-cgroup iops and read-latency
+    percentiles computed over the successful completions *inside* that phase
+    — not a trailing window — plus the block layer's error / requeue /
+    timeout deltas.  The ``isolation`` figure asks whether the protected
+    cgroup's fault-phase read p99 held within the latency target while the
+    device misbehaved; empty phases (fault plan starting at t=0, or running
+    past ``duration``) report ``null``.
+
+    The plan's error-draw RNG is bound by the testbed to the machine seed
+    (label ``faults:<device>``), so results are a pure function of
+    ``(params, seed)`` like every other kind.
+    """
+    cgroup_table = params.get("cgroups")
+    workload_table = params.get("workloads")
+    if not isinstance(cgroup_table, dict) or not cgroup_table:
+        raise ExperimentError("chaos params need a 'cgroups' {path: weight} table")
+    if not isinstance(workload_table, list) or not workload_table:
+        raise ExperimentError("chaos params need a 'workloads' list")
+    fault_tables = params.get("faults")
+    if not isinstance(fault_tables, list) or not fault_tables:
+        raise ExperimentError("chaos params need a 'faults' list of fault tables")
+    plan = plan_from_config(fault_tables)  # unseeded: the testbed binds it
+
+    kwargs = _machine_kwargs(params)
+    fault_device = params.get("fault_device")
+    kwargs["faults"] = plan if fault_device is None else {fault_device: plan}
+    if params.get("io_timeout") is not None:
+        kwargs["io_timeout"] = float(params["io_timeout"])
+    kwargs["max_retries"] = int(params.get("max_retries", 3))
+
+    bed = Testbed(seed=seed, **kwargs)
+    groups = {
+        path: bed.add_cgroup(path, weight=int(weight))
+        for path, weight in cgroup_table.items()
+    }
+    duration = float(params.get("duration", 1.0))
+    for entry in workload_table:
+        _attach_workload(bed, groups, entry, duration)
+
+    protected = params.get("protected", next(iter(cgroup_table)))
+    if protected not in cgroup_table:
+        raise ExperimentError(f"protected cgroup {protected!r} is not in 'cgroups'")
+    target = _opt_float(params.get("latency_target"))
+    if target is None:
+        target = (kwargs.get("qos") or QoSParams()).read_lat_target
+    percentiles = [float(p) for p in params.get("percentiles", [50, 95, 99])]
+
+    # The fault envelope: [0, t0) pre, [t0, t1) fault, [t1, duration] post.
+    settle = float(params.get("settle", 0.05))
+    if settle < 0:
+        raise ExperimentError("'settle' must be >= 0")
+    t0 = min(duration, max(0.0, min(f.start for f in plan.faults)))
+    ends = [f.end for f in plan.faults]
+    if any(math.isinf(e) for e in ends):
+        t1 = duration
+    else:
+        t1 = min(duration, max(ends) + settle)
+    t1 = max(t1, t0)
+
+    fault_layer = bed.layer_of(fault_device)
+    samples: Dict[str, List[float]] = {path: [] for path in groups}
+
+    def on_complete(event: Any) -> None:
+        fields = event.fields
+        if fields["dev"] != fault_layer.dev or fields["op"] != "read":
+            return
+        bucket = samples.get(fields["cgroup"])
+        if bucket is not None:
+            bucket.append(float(fields["device_latency"]))
+
+    subscription = TRACE.subscribe(on_complete, events=("bio_complete",))
+    phases: Dict[str, Optional[Dict[str, Any]]] = {}
+    fault_p99: Optional[float] = None
+    try:
+        for name, start, end in zip(
+            _PHASE_NAMES, (0.0, t0, t1), (t0, t1, duration)
+        ):
+            if end - start <= 0.0:
+                phases[name] = None
+                continue
+            errors_before = fault_layer.errored_ios
+            requeues_before = fault_layer.requeued_ios
+            timeouts_before = fault_layer.timed_out_ios
+            for bucket in samples.values():
+                bucket.clear()
+            bed.run(end - start)
+            cgroup_results: Dict[str, Any] = {}
+            for path, group in groups.items():
+                lats: Dict[str, Optional[float]] = {}
+                for pct in percentiles:
+                    lats[f"read_p{pct:g}"] = (
+                        float(exact_percentile(samples[path], pct))
+                        if samples[path] else None
+                    )
+                cgroup_results[path] = {"iops": float(bed.iops(group)), **lats}
+            if name == "fault" and samples[protected]:
+                fault_p99 = float(exact_percentile(samples[protected], 99))
+            phases[name] = {
+                "start": float(start),
+                "end": float(end),
+                "cgroups": cgroup_results,
+                "errors": int(fault_layer.errored_ios - errors_before),
+                "requeues": int(fault_layer.requeued_ios - requeues_before),
+                "timeouts": int(fault_layer.timed_out_ios - timeouts_before),
+            }
+    finally:
+        subscription.close()
+        bed.detach()
+
+    within: Optional[bool] = None
+    if target is not None and fault_p99 is not None:
+        within = bool(fault_p99 <= target)
+    totals: Dict[str, Any] = {
+        "errors": int(fault_layer.errored_ios),
+        "requeues": int(fault_layer.requeued_ios),
+        "timeouts": int(fault_layer.timed_out_ios),
+    }
+    # IOCost tracks the cost of failed bios it never refunds (graceful
+    # degradation accounting); other Table 1 mechanisms have no such notion.
+    failed_ios = getattr(fault_layer.controller, "failed_ios", None)
+    if failed_ios is not None:
+        totals["failed_ios"] = int(failed_ios)
+        totals["failed_cost"] = float(fault_layer.controller.failed_cost)
+    return {
+        "duration": duration,
+        "phases": phases,
+        "isolation": {
+            "protected": protected,
+            "latency_target": _opt_float(target),
+            "fault_read_p99": fault_p99,
+            "within_target": within,
+        },
+        "totals": totals,
+        "events_processed": int(bed.sim.events_processed),
+    }
+
+
 __all__ = [
     "ExperimentError",
     "ExperimentFn",
@@ -422,6 +599,7 @@ __all__ = [
     "TRACE_KEY",
     "experiment",
     "resolve",
+    "run_chaos",
     "run_mechanism_2to1",
     "run_profile_device",
     "run_testbed",

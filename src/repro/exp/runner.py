@@ -19,6 +19,16 @@ Failures don't abort the sweep: each run is retried once (configurable)
 inside its worker, then recorded as a structured failure in ``meta.json``
 and the report.  Per-sweep counters (runs completed, cache hits,
 failures, wall seconds) land in a :class:`repro.obs.metrics.MetricRegistry`.
+
+Timeouts: ``timeout_sec`` bounds each run's wall-clock.  The pool is then
+replaced by a hand-rolled process manager (one killable ``Process`` +
+``Pipe`` per run, up to ``workers`` concurrent) because a
+``ProcessPoolExecutor`` cannot kill a hung worker without tearing down
+the whole pool.  An expired run is terminated and recorded with status
+``"timeout"`` — a structured failure in ``meta.json`` like any other, but
+distinguishable so the cache can report ``timed-out-previously`` on the
+next sweep.  Deadlines are measured with the injected ``clock``, so a
+real (wall) clock is required whenever ``timeout_sec`` is set.
 """
 
 from __future__ import annotations
@@ -26,6 +36,7 @@ from __future__ import annotations
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from multiprocessing import get_context
+from multiprocessing.connection import wait as _connection_wait
 from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 
@@ -56,7 +67,7 @@ class RunOutcome:
     """How one sweep cell went: cached, executed-ok, or failed."""
 
     run: RunSpec
-    status: str  # "ok" | "failed"
+    status: str  # "ok" | "failed" | "timeout"
     cached: bool
     cache_reason: str
     attempts: int
@@ -95,7 +106,12 @@ class SweepReport:
 
     @property
     def failures(self) -> int:
+        """Runs that did not succeed — exceptions *and* timeouts."""
         return sum(1 for outcome in self.outcomes if not outcome.ok)
+
+    @property
+    def timeouts(self) -> int:
+        return sum(1 for outcome in self.outcomes if outcome.status == "timeout")
 
     @property
     def hit_rate(self) -> float:
@@ -146,6 +162,7 @@ class SweepReport:
                 "cache_hits": self.cache_hits,
                 "cache_hit_rate": self.hit_rate,
                 "failures": self.failures,
+                "timeouts": self.timeouts,
                 "executed_wall_sec": self.executed_wall_sec,
                 "elapsed_wall_sec": self.elapsed_wall_sec,
                 "speedup_vs_serial": self.speedup_vs_serial,
@@ -181,6 +198,14 @@ def _execute(payload: _Payload) -> _Verdict:
     return "failed", None, error, retries + 1, clock() - start
 
 
+def _worker_entry(payload: _Payload, conn: Any) -> None:
+    """Process target for the timeout manager: execute, ship the verdict."""
+    try:
+        conn.send(_execute(payload))
+    finally:
+        conn.close()
+
+
 def _make_executor(workers: int) -> ProcessPoolExecutor:
     """A fork-context pool when the platform has fork (registry and
     ``sys.path`` state inherit into workers), else the platform default."""
@@ -189,6 +214,101 @@ def _make_executor(workers: int) -> ProcessPoolExecutor:
     except ValueError:  # pragma: no cover - non-POSIX platforms
         return ProcessPoolExecutor(max_workers=workers)
     return ProcessPoolExecutor(max_workers=workers, mp_context=mp_context)
+
+
+def _mp_context() -> Any:
+    try:
+        return get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return get_context()
+
+
+def _run_with_timeouts(
+    payloads: List[_Payload],
+    workers: int,
+    timeout_sec: float,
+    clock: Clock,
+) -> List[_Verdict]:
+    """Execute payloads in killable per-run processes with a wall deadline.
+
+    Keeps up to ``workers`` processes in flight; a run whose verdict has
+    not arrived within ``timeout_sec`` (by ``clock``) is terminated and
+    recorded with status ``"timeout"``.  Results come back indexed, so
+    sweep order is preserved regardless of completion order.
+    """
+    ctx = _mp_context()
+    verdicts: List[Optional[_Verdict]] = [None] * len(payloads)
+    #: reader-connection -> (payload index, process, absolute deadline).
+    active: Dict[Any, Tuple[int, Any, float]] = {}
+    next_index = 0
+    try:
+        while next_index < len(payloads) or active:
+            while next_index < len(payloads) and len(active) < workers:
+                reader, writer = ctx.Pipe(duplex=False)
+                proc = ctx.Process(
+                    target=_worker_entry, args=(payloads[next_index], writer)
+                )
+                proc.start()
+                writer.close()  # the child holds the only write end now
+                active[reader] = (next_index, proc, clock() + timeout_sec)
+                next_index += 1
+            nearest = min(deadline for _, _, deadline in active.values())
+            wait_for = max(0.0, nearest - clock())
+            ready = _connection_wait(list(active), timeout=wait_for)
+            for reader in ready:
+                index, proc, _ = active.pop(reader)
+                try:
+                    verdict: _Verdict = reader.recv()
+                except EOFError:  # died without a verdict (OOM-kill, crash)
+                    verdict = (
+                        "failed",
+                        None,
+                        {
+                            "type": "WorkerDied",
+                            "message": "worker exited without a verdict",
+                        },
+                        1,
+                        0.0,
+                    )
+                reader.close()
+                proc.join()
+                verdicts[index] = verdict
+            if ready:
+                continue
+            now = clock()
+            expired = [
+                reader
+                for reader, (_, _, deadline) in active.items()
+                if deadline <= now
+            ]
+            for reader in expired:
+                # A verdict may have landed between the wait and now —
+                # prefer it over a kill.
+                if reader.poll():
+                    continue
+                index, proc, _ = active.pop(reader)
+                proc.terminate()
+                proc.join()
+                reader.close()
+                verdicts[index] = (
+                    "timeout",
+                    None,
+                    {
+                        "type": "TimeoutError",
+                        "message": (
+                            f"run exceeded the {timeout_sec:g}s wall-clock "
+                            "limit and was killed"
+                        ),
+                    },
+                    1,
+                    timeout_sec,
+                )
+    finally:  # interrupted sweeps must not leak live workers
+        for reader, (_, proc, _) in active.items():
+            proc.terminate()
+            proc.join()
+            reader.close()
+    return [v for v in verdicts if v is not None]
 
 
 # -- parent side -------------------------------------------------------------
@@ -202,17 +322,27 @@ def run_sweep(
     metrics: Optional[MetricRegistry] = None,
     force: bool = False,
     retries: int = 1,
+    timeout_sec: Optional[float] = None,
 ) -> SweepReport:
     """Execute one sweep: cache-aware, parallel, failure-tolerant.
 
     ``clock`` must be a picklable zero-argument callable (it travels into
     worker processes); ``None`` disables timing.  ``force`` bypasses the
-    cache and re-executes every cell.
+    cache and re-executes every cell.  ``timeout_sec`` bounds each run's
+    wall-clock — it requires a real ``clock`` (deadlines cannot be
+    measured with the zero clock) and swaps the pool for killable
+    per-run worker processes.
     """
     if workers < 1:
         raise RunnerError("workers must be >= 1")
     if retries < 0:
         raise RunnerError("retries must be >= 0")
+    if timeout_sec is not None and timeout_sec <= 0:
+        raise RunnerError("timeout_sec must be positive")
+    if timeout_sec is not None and (clock is None or clock is zero_clock):
+        raise RunnerError(
+            "timeout_sec needs a real clock (pass e.g. repro.exp.cli.wall_clock)"
+        )
     if not isinstance(store, ArtifactStore):
         store = ArtifactStore(store)
     clock = zero_clock if clock is None else clock
@@ -253,6 +383,9 @@ def run_sweep(
     ]
     if not payloads:
         verdicts: List[_Verdict] = []
+    elif timeout_sec is not None:
+        # Even a lone run needs its own killable process.
+        verdicts = _run_with_timeouts(payloads, workers, timeout_sec, clock)
     elif workers == 1 or len(payloads) == 1:
         verdicts = [_execute(payload) for payload in payloads]
     else:
@@ -291,6 +424,7 @@ def run_sweep(
     metrics.counter("exp.runs_completed").inc(report.runs_total - report.failures)
     metrics.counter("exp.cache_hits").inc(report.cache_hits)
     metrics.counter("exp.failures").inc(report.failures)
+    metrics.counter("exp.timeouts").inc(report.timeouts)
     wall_hist = metrics.histogram("exp.run_wall_sec")
     for outcome in report.outcomes:
         if not outcome.cached:

@@ -1,0 +1,242 @@
+"""Deterministic device fault injection (``repro.faults``).
+
+Real SSDs misbehave — write-latency spikes, firmware garbage-collection
+stalls, transient media errors, and full device hangs are exactly the
+"unpredictable SSD behaviours" (§5) that IOCost's QoS range and vrate
+adaptation exist to absorb.  This module scripts such misbehaviour over
+*simulated* time so degradation scenarios are reproducible:
+
+* a :class:`FaultPlan` holds an ordered set of fault windows and is attached
+  to one :class:`~repro.block.device.Device` (``Testbed(faults=...)``);
+* fault *kinds*: :class:`Brownout` (latency multiplier), :class:`GCStall`
+  (requests beginning inside the window are deferred to its end, like a
+  firmware GC pause), :class:`ErrorBurst` (requests fail with a seeded
+  per-request probability), and :class:`Hang` (requests beginning service
+  never complete until the window ends — or ever, for an unbounded hang);
+* every fault boundary is announced through the ``dev_fault_begin`` /
+  ``dev_fault_end`` tracepoints, and error decisions draw from the plan's
+  *own* seeded RNG stream so injecting faults never perturbs the device's
+  service-time noise sequence (determinism contract, docs/STATIC_ANALYSIS.md).
+
+The plan itself is pure data + a seeded generator: it never reads the
+clock and schedules nothing — the device owns simulated time.  See
+``docs/FAULTS.md`` for the full format and the error/retry semantics the
+block layer adds on top.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, ClassVar, Dict, Iterable, Mapping, Optional, Sequence, Tuple, Type
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycle
+    from repro.block.bio import Bio
+
+
+class FaultError(ValueError):
+    """Raised for malformed fault windows or an unseeded error draw."""
+
+
+@dataclass(frozen=True)
+class _Window:
+    """A half-open ``[start, start + duration)`` window of simulated time."""
+
+    start: float
+    duration: float
+
+    def __post_init__(self) -> None:
+        if self.start < 0:
+            raise FaultError("fault start must be >= 0")
+        if not self.duration > 0:
+            raise FaultError("fault duration must be positive")
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+    def active(self, now: float) -> bool:
+        return self.start <= now < self.end
+
+
+@dataclass(frozen=True)
+class Brownout(_Window):
+    """Device brownout: every request serviced in the window is slower.
+
+    Models ageing media / thermal throttling: service times (after the
+    device's own noise model) are multiplied by ``latency_mult``.
+    """
+
+    latency_mult: float = 4.0
+    kind: ClassVar[str] = "brownout"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.latency_mult < 1.0:
+            raise FaultError("brownout latency_mult must be >= 1")
+
+
+@dataclass(frozen=True)
+class GCStall(_Window):
+    """Firmware garbage-collection pause.
+
+    Requests *beginning service* inside the window are deferred until the
+    window ends (then serviced normally); requests already on the media
+    when the stall begins complete undisturbed.
+    """
+
+    kind: ClassVar[str] = "gc_stall"
+
+
+@dataclass(frozen=True)
+class ErrorBurst(_Window):
+    """Transient IO errors: requests beginning service in the window fail
+    with probability ``error_rate`` (drawn from the plan's seeded RNG).
+    ``op`` restricts the burst to ``"read"`` or ``"write"`` requests.
+    """
+
+    error_rate: float = 1.0
+    op: Optional[str] = None
+    kind: ClassVar[str] = "error_burst"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not 0.0 < self.error_rate <= 1.0:
+            raise FaultError("error_rate must be in (0, 1]")
+        if self.op not in (None, "read", "write"):
+            raise FaultError("error burst op must be 'read', 'write', or None")
+
+
+@dataclass(frozen=True)
+class Hang(_Window):
+    """Full device hang: requests beginning service in the window never
+    complete.  With a finite ``duration`` the parked requests resume (and
+    then complete) when the window ends — a controller reset; the default
+    ``duration=inf`` hangs them forever, so only a block-layer timeout
+    (``io_timeout``) can reclaim them.
+    """
+
+    duration: float = math.inf
+    kind: ClassVar[str] = "hang"
+
+
+Fault = _Window  # every concrete kind subclasses the window
+
+_FAULT_KINDS: Dict[str, Type[_Window]] = {
+    cls.kind: cls for cls in (Brownout, GCStall, ErrorBurst, Hang)
+}
+
+
+@dataclass(frozen=True)
+class FaultDecision:
+    """The combined effect of every active fault on one request.
+
+    ``delay`` defers the start of service (GC stall), ``latency_mult``
+    scales its duration (brownouts compose multiplicatively), ``error``
+    fails it, ``hang`` parks it indefinitely.
+    """
+
+    delay: float = 0.0
+    latency_mult: float = 1.0
+    error: bool = False
+    hang: bool = False
+
+
+NO_FAULT = FaultDecision()
+
+
+class FaultPlan:
+    """An immutable script of device faults plus a seeded RNG for error draws.
+
+    The RNG is dedicated to fault decisions: either pass ``seed=`` here or
+    let :class:`~repro.testbed.Testbed` bind a label-keyed stream via
+    :meth:`bind` — both keep error draws out of the device's service-noise
+    stream.  A plan containing an :class:`ErrorBurst` raises
+    :class:`FaultError` at the first draw if neither happened.
+    """
+
+    def __init__(self, faults: Sequence[_Window], *, seed: Optional[int] = None):
+        for fault in faults:
+            if not isinstance(fault, _Window):
+                raise FaultError(f"not a fault window: {fault!r}")
+        self.faults: Tuple[_Window, ...] = tuple(faults)
+        self._rng: Optional[np.random.Generator] = None
+        if seed is not None:
+            self._rng = np.random.default_rng(seed)
+
+    def bind(self, rng: np.random.Generator) -> "FaultPlan":
+        """Attach an RNG stream unless the plan was already seeded."""
+        if self._rng is None:
+            self._rng = rng
+        return self
+
+    def decide(self, now: float, bio: "Bio") -> FaultDecision:
+        """Combined fault effect for a request beginning service at ``now``."""
+        delay = 0.0
+        latency_mult = 1.0
+        error = False
+        hang = False
+        for fault in self.faults:
+            if not fault.active(now):
+                continue
+            kind = fault.kind
+            if kind == "brownout":
+                latency_mult *= fault.latency_mult  # type: ignore[attr-defined]
+            elif kind == "gc_stall":
+                delay = max(delay, fault.end - now)
+            elif kind == "error_burst":
+                burst_op: Optional[str] = fault.op  # type: ignore[attr-defined]
+                if burst_op is None or burst_op == bio.op.value:
+                    # Draw per matching burst, unconditionally: the stream
+                    # consumed stays a pure function of serviced requests.
+                    if self._draw() < fault.error_rate:  # type: ignore[attr-defined]
+                        error = True
+            else:  # hang
+                hang = True
+        if not (delay or error or hang) and latency_mult == 1.0:
+            return NO_FAULT
+        return FaultDecision(delay=delay, latency_mult=latency_mult, error=error, hang=hang)
+
+    def hang_active(self, now: float) -> bool:
+        """True while any hang window covers ``now``."""
+        return any(f.kind == "hang" and f.active(now) for f in self.faults)
+
+    def _draw(self) -> float:
+        if self._rng is None:
+            raise FaultError(
+                "fault plan has error faults but no RNG: pass seed= or bind()"
+            )
+        return float(self._rng.random())
+
+    def __len__(self) -> int:
+        return len(self.faults)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        kinds = ", ".join(f.kind for f in self.faults)
+        return f"FaultPlan([{kinds}])"
+
+
+def fault_from_dict(config: Mapping[str, object]) -> _Window:
+    """Build one fault from a config table (the TOML/JSON spec surface).
+
+    ``{"kind": "brownout", "start": 0.5, "duration": 0.2, "latency_mult": 8}``
+    """
+    params = dict(config)
+    kind = params.pop("kind", None)
+    if not isinstance(kind, str) or kind not in _FAULT_KINDS:
+        raise FaultError(
+            f"unknown fault kind {kind!r} (expected one of {sorted(_FAULT_KINDS)})"
+        )
+    try:
+        return _FAULT_KINDS[kind](**params)  # type: ignore[arg-type]
+    except TypeError as exc:
+        raise FaultError(f"bad parameters for fault kind {kind!r}: {exc}") from None
+
+
+def plan_from_config(
+    configs: Iterable[Mapping[str, object]], *, seed: Optional[int] = None
+) -> FaultPlan:
+    """Build a :class:`FaultPlan` from an iterable of fault tables."""
+    return FaultPlan([fault_from_dict(c) for c in configs], seed=seed)

@@ -36,7 +36,11 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.controllers.base import IOController
 
 #: The flat per-cgroup counters that aggregate up the hierarchy.
-FLAT_KEYS = ("rbytes", "wbytes", "rios", "wios", "dbytes", "dios", "wait_usec")
+#: ``errors``/``requeues`` are the fault-path counters (docs/FAULTS.md).
+FLAT_KEYS = (
+    "rbytes", "wbytes", "rios", "wios", "dbytes", "dios", "wait_usec",
+    "errors", "requeues",
+)
 
 #: Keys printed as integers in :meth:`IOStat.render` (cgroup2 parity).
 _INT_KEYS = frozenset(FLAT_KEYS)
@@ -52,6 +56,8 @@ def _flat(stats: IOStats) -> Dict[str, float]:
         "dios": stats.dios,
         # The seconds->usec conversion lives on IOStats.wait_usec alone.
         "wait_usec": stats.wait_usec,
+        "errors": stats.errors,
+        "requeues": stats.requeues,
     }
 
 

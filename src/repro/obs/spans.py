@@ -53,6 +53,10 @@ from repro.obs.trace import TRACE, Subscription, TraceEvent, TraceRegistry
 QUEUE_WAIT = "queue_wait"
 SERVICE = "service"
 THROTTLE_PREFIX = "throttle_wait:"
+#: Retry attribution: first dispatch -> final dispatch (failed service
+#: attempts plus exponential backoffs, docs/FAULTS.md).  Present only on
+#: spans that were requeued at least once.
+RETRY_WAIT = "retry_wait"
 
 #: Events the tracker subscribes to.
 SPAN_EVENTS: Tuple[str, ...] = (
@@ -60,8 +64,12 @@ SPAN_EVENTS: Tuple[str, ...] = (
     "bio_throttle",
     "bio_issue",
     "bio_complete",
+    "bio_error",
+    "bio_requeue",
     "debt_pay",
     "donation_recalc",
+    "dev_fault_begin",
+    "dev_fault_end",
 )
 
 
@@ -76,11 +84,11 @@ def _usec(time_sec: float) -> int:
 
 @dataclass(frozen=True)
 class Annotation:
-    """A controller-side event that fired while the span was open."""
+    """A controller- or device-side event that fired while the span was open."""
 
     time_usec: int
-    event: str  # "debt_pay" or "donation_recalc"
-    detail: str  # e.g. "charge amount=..." / "donors=3"
+    event: str  # "debt_pay", "donation_recalc", "dev_fault_begin/_end"
+    detail: str  # e.g. "charge amount=..." / "donors=3" / "kind=hang index=0"
 
 
 @dataclass(frozen=True)
@@ -101,6 +109,9 @@ class Span:
     complete_usec: int
     stages: Tuple[Tuple[str, int], ...]
     annotations: Tuple[Annotation, ...] = ()
+    #: Terminal outcome ("ok", "eio", "timeout") and requeue count.
+    status: str = "ok"
+    retries: int = 0
 
     @property
     def end_to_end_usec(self) -> int:
@@ -133,6 +144,8 @@ class Span:
             "issue_usec": self.issue_usec,
             "complete_usec": self.complete_usec,
             "end_to_end_usec": self.end_to_end_usec,
+            "status": self.status,
+            "retries": self.retries,
             "stages": [[name, dur] for name, dur in self.stages],
             "annotations": [
                 {"time_usec": ann.time_usec, "event": ann.event, "detail": ann.detail}
@@ -151,7 +164,11 @@ class _OpenSpan:
     op: str
     nbytes: int
     submit_usec: int
+    #: Most recent dispatch (bio_issue re-fires per retry).
     issue_usec: Optional[int] = None
+    #: First dispatch; retry_wait spans first_issue -> last issue.
+    first_issue_usec: Optional[int] = None
+    requeues: int = 0
     #: (time_usec, ctl) per bio_throttle event, in emission order.
     throttles: List[Tuple[int, str]] = field(default_factory=list)
     annotations: List[Annotation] = field(default_factory=list)
@@ -165,11 +182,22 @@ class SpanTracker:
     so :meth:`breakdown` keeps working after the ring wraps.
     """
 
-    def __init__(self, capacity: int = 65536, resolution: float = 0.02):
+    def __init__(
+        self,
+        capacity: int = 65536,
+        resolution: float = 0.02,
+        max_pending: int = 65536,
+    ):
         if capacity <= 0:
             raise SpanError("capacity must be positive")
+        if max_pending <= 0:
+            raise SpanError("max_pending must be positive")
         self.capacity = capacity
         self.resolution = resolution
+        #: Bound on the open-span map: bios whose completion never arrives
+        #: (hung devices, detached-mid-run rigs) would otherwise grow it
+        #: without limit.  The oldest open span is evicted past the bound.
+        self.max_pending = max_pending
         self._spans: Deque[Span] = deque(maxlen=capacity)
         self._pending: Dict[Tuple[str, int], _OpenSpan] = {}
         #: (cgroup, dev, stage) -> Histogram of stage durations in usec.
@@ -177,6 +205,11 @@ class SpanTracker:
         #: (cgroup, dev) -> Histogram of end-to-end latencies in usec.
         self._e2e_hist: Dict[Tuple[str, str], Histogram] = {}
         self.completed = 0
+        #: Completed spans whose terminal status was not "ok".
+        self.errored = 0
+        #: Open spans dropped because the pending map hit ``max_pending``
+        #: (their bio_complete/bio_error never arrived in time).
+        self.evicted = 0
         #: Lifecycle events for bios whose submit was never seen (tracker
         #: attached mid-run); counted, not an error.
         self.orphan_events = 0
@@ -214,10 +247,16 @@ class SpanTracker:
             self._on_issue(event)
         elif name == "bio_complete":
             self._on_complete(event)
+        elif name == "bio_error":
+            self._on_error(event)
+        elif name == "bio_requeue":
+            self._on_requeue(event)
         elif name == "debt_pay":
             self._on_debt(event)
         elif name == "donation_recalc":
             self._on_donation(event)
+        elif name in ("dev_fault_begin", "dev_fault_end"):
+            self._on_fault(event)
         # Other events (a caller subscribed us too broadly) are ignored.
 
     @staticmethod
@@ -231,6 +270,11 @@ class SpanTracker:
         key = self._key(fields)
         if key in self._pending:
             raise SpanError(f"duplicate bio_submit for dev={key[0]!r} id={key[1]}")
+        if len(self._pending) >= self.max_pending:
+            # Evict the oldest open span (dict preserves insertion order):
+            # its completion never arrived — a hung bio or a torn-down rig.
+            del self._pending[next(iter(self._pending))]
+            self.evicted += 1
         self._pending[key] = _OpenSpan(
             dev=key[0],
             bio_id=key[1],
@@ -252,17 +296,35 @@ class SpanTracker:
         if open_span is None:
             self.orphan_events += 1
             return
-        open_span.issue_usec = _usec(event.time)
+        issue_usec = _usec(event.time)
+        open_span.issue_usec = issue_usec
+        if open_span.first_issue_usec is None:
+            open_span.first_issue_usec = issue_usec
+
+    def _on_requeue(self, event: TraceEvent) -> None:
+        open_span = self._pending.get(self._key(event.fields))
+        if open_span is None:
+            self.orphan_events += 1
+            return
+        open_span.requeues += 1
 
     def _on_complete(self, event: TraceEvent) -> None:
+        self._close(event, status="ok")
+
+    def _on_error(self, event: TraceEvent) -> None:
+        self._close(event, status=str(event.fields["status"]))
+
+    def _close(self, event: TraceEvent, status: str) -> None:
         key = self._key(event.fields)
         open_span = self._pending.pop(key, None)
         if open_span is None:
             self.orphan_events += 1
             return
-        span = self._finalise(open_span, _usec(event.time))
+        span = self._finalise(open_span, _usec(event.time), status=status)
         self._spans.append(span)
         self.completed += 1
+        if status != "ok":
+            self.errored += 1
         self._record(span)
 
     def _on_debt(self, event: TraceEvent) -> None:
@@ -290,14 +352,35 @@ class SpanTracker:
             if open_span.dev == dev:
                 open_span.annotations.append(annotation)
 
+    def _on_fault(self, event: TraceEvent) -> None:
+        fields = event.fields
+        dev = str(fields.get("dev", ""))
+        annotation = Annotation(
+            time_usec=_usec(event.time),
+            event=event.name,
+            detail=f"kind={fields['kind']} index={fields['index']}",
+        )
+        for open_span in self._pending.values():
+            if open_span.dev == dev:
+                open_span.annotations.append(annotation)
+
     # -- span assembly -----------------------------------------------------
 
     @staticmethod
-    def _finalise(open_span: _OpenSpan, complete_usec: int) -> Span:
+    def _finalise(
+        open_span: _OpenSpan, complete_usec: int, status: str = "ok"
+    ) -> Span:
         issue_usec = (
             open_span.issue_usec
             if open_span.issue_usec is not None
             else complete_usec  # never issued: the whole span is wait
+        )
+        # Wait stages are bounded by the *first* dispatch; retries own the
+        # stretch from there to the final dispatch (retry_wait below).
+        first_issue_usec = (
+            open_span.first_issue_usec
+            if open_span.first_issue_usec is not None
+            else issue_usec
         )
         end_to_end = complete_usec - open_span.submit_usec
         stages: List[Tuple[str, int]] = []
@@ -305,7 +388,7 @@ class SpanTracker:
 
         # queue_wait: submit -> first throttle (or issue when unthrottled).
         first_boundary = (
-            open_span.throttles[0][0] if open_span.throttles else issue_usec
+            open_span.throttles[0][0] if open_span.throttles else first_issue_usec
         )
         queue_wait = first_boundary - open_span.submit_usec
         stages.append((QUEUE_WAIT, queue_wait))
@@ -318,7 +401,7 @@ class SpanTracker:
             next_usec = (
                 throttles[position + 1][0]
                 if position + 1 < len(throttles)
-                else issue_usec
+                else first_issue_usec
             )
             segment = next_usec - start_usec
             stage_name = THROTTLE_PREFIX + ctl
@@ -327,6 +410,13 @@ class SpanTracker:
             else:
                 stages.append((stage_name, segment))
             waited += segment
+
+        # retry_wait: first dispatch -> final dispatch (failed service
+        # attempts + exponential backoffs); absent on first-try spans.
+        if issue_usec > first_issue_usec:
+            retry_wait = issue_usec - first_issue_usec
+            stages.append((RETRY_WAIT, retry_wait))
+            waited += retry_wait
 
         # service is the residual, so the integer stage durations sum to
         # end_to_end exactly by construction.
@@ -343,6 +433,8 @@ class SpanTracker:
             complete_usec=complete_usec,
             stages=tuple(stages),
             annotations=tuple(open_span.annotations),
+            status=status,
+            retries=open_span.requeues,
         )
 
     def _record(self, span: Span) -> None:
@@ -449,6 +541,8 @@ class SpanTracker:
         """Human-readable one-scope breakdown (blkprof's default output)."""
         rollup = self.breakdown(cgroup, dev)
         if rollup["count"] == 0:
+            if self.evicted:
+                return f"no completed spans (evicted={self.evicted} open spans)"
             return "no completed spans"
         e2e = rollup["end_to_end"]
         lines = [
@@ -461,15 +555,23 @@ class SpanTracker:
                 f"  {stage_name:<24} {summary['share']:>6.1%}  "
                 f"mean={summary['mean']:.0f}us p99={summary['p99']:.0f}us"
             )
+        if self.errored or self.evicted:
+            lines.append(
+                f"  errored={self.errored} evicted={self.evicted} "
+                f"(pending bound {self.max_pending})"
+            )
         return "\n".join(lines)
 
 
 def _stage_order(stage_name: str) -> Tuple[int, str]:
-    """Sort key: queue_wait, throttle_wait:* (alphabetical), service."""
+    """Sort key: queue_wait, throttle_wait:* (alphabetical), retry_wait,
+    service."""
     if stage_name == QUEUE_WAIT:
         return (0, stage_name)
-    if stage_name == SERVICE:
+    if stage_name == RETRY_WAIT:
         return (2, stage_name)
+    if stage_name == SERVICE:
+        return (3, stage_name)
     return (1, stage_name)
 
 

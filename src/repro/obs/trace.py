@@ -23,8 +23,12 @@ The event catalogue::
 
     bio_submit       bio entered the block layer
     bio_throttle     a controller held a bio back (budget, tokens, depth)
-    bio_issue        bio dispatched to the device
-    bio_complete     device finished a bio (TraceRecord-convertible)
+    bio_issue        bio dispatched to the device (re-emitted per retry)
+    bio_complete     device finished a bio successfully (TraceRecord-convertible)
+    bio_error        bio finished with a non-OK status after all retries
+    bio_requeue      block layer requeued a failed/timed-out bio for retry
+    dev_fault_begin  an injected device fault window opened (repro.faults)
+    dev_fault_end    an injected device fault window closed
     vrate_adjust     IOCost planning path adjusted (or confirmed) vrate
     qos_period       one IOCost planning period ran
     donation_recalc  §3.6 donation pass rewrote weights
@@ -70,6 +74,18 @@ EVENT_CATALOGUE: Dict[str, Tuple[str, ...]] = {
         "dev", "id", "cgroup", "op", "nbytes", "sector", "flags", "prio",
         "submit_time", "latency", "device_latency",
     ),
+    # Final failure: status is the bio's terminal BioStatus value
+    # ("eio"/"timeout"), retries how many requeues it burned first.
+    "bio_error": ("dev", "id", "cgroup", "op", "nbytes", "status", "retries"),
+    # One retry decision: backoff is the exponential delay (seconds)
+    # before the bio re-enters dispatch.
+    "bio_requeue": (
+        "dev", "id", "cgroup", "op", "nbytes", "status", "retries", "backoff",
+    ),
+    # Fault windows (repro.faults): index is the fault's position in its
+    # plan; until the window's absolute end time (-1.0 = unbounded hang).
+    "dev_fault_begin": ("dev", "kind", "index", "until"),
+    "dev_fault_end": ("dev", "kind", "index"),
     "vrate_adjust": (
         "dev", "vrate", "busy_level", "saturated", "starved", "read_p", "write_p",
     ),

@@ -48,6 +48,7 @@ from repro.controllers.noop import NoopController
 from repro.core.controller import IOCost
 from repro.core.cost_model import LinearCostModel, ModelParams
 from repro.core.qos import QoSParams
+from repro.faults import FaultPlan
 from repro.mm.memory import MemoryManager
 from repro.sim import Simulator
 from repro.workloads.synthetic import (
@@ -111,6 +112,9 @@ class Testbed:
         devices: Optional[Dict[str, Union[str, DeviceSpec]]] = None,
         controllers: Optional[Dict[str, Union[str, IOController]]] = None,
         swap_device: Optional[str] = None,
+        faults: Optional[Union[FaultPlan, Dict[str, FaultPlan]]] = None,
+        io_timeout: Optional[float] = None,
+        max_retries: int = 3,
         **controller_kwargs,
     ):
         self.sim = Simulator()
@@ -134,6 +138,17 @@ class Testbed:
                     "controllers={...}"
                 )
 
+        # Per-device fault plans (repro.faults).  A bare FaultPlan is the
+        # single-device shorthand for {first device name: plan}.
+        if isinstance(faults, FaultPlan):
+            faults = {next(iter(devices)): faults}
+        fault_plans: Dict[str, FaultPlan] = dict(faults or {})
+        unknown_fault_devs = set(fault_plans) - set(devices)
+        if unknown_fault_devs:
+            raise ValueError(
+                f"faults name unknown device(s) {sorted(unknown_fault_devs)}"
+            )
+
         for name, spec_like in devices.items():
             spec = spec_like if isinstance(spec_like, DeviceSpec) else get_device_spec(spec_like)
             ctl_like = controllers.get(name, controller)
@@ -144,11 +159,19 @@ class Testbed:
                     ctl_like, spec, qos=qos, model_params=model_params,
                     **controller_kwargs,
                 )
+            plan = fault_plans.get(name)
+            if plan is not None:
+                # Error draws get their own label-keyed stream, so a fault
+                # plan never perturbs the device's service-noise sequence.
+                plan.bind(self.rng_for(f"faults:{name}"))
             dev = Device(
                 self.sim, spec, self.rng_for(f"device:{name}"),
-                name=name, devno=self.devices.next_devno(),
+                name=name, devno=self.devices.next_devno(), faults=plan,
             )
-            layer = BlockLayer(self.sim, dev, ctl).observe_tree(self.cgroups)
+            layer = BlockLayer(
+                self.sim, dev, ctl,
+                io_timeout=io_timeout, max_retries=max_retries,
+            ).observe_tree(self.cgroups)
             self.devices.add(name, layer)
 
         # Single-device aliases: the machine's first (data) device.

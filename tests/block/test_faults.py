@@ -1,0 +1,285 @@
+"""Unit tests for repro.faults and the device-side fault behaviours."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.block.bio import Bio, BioStatus, IOOp
+from repro.block.device import Device, DeviceSpec
+from repro.cgroup import CgroupTree
+from repro.faults import (
+    NO_FAULT,
+    Brownout,
+    ErrorBurst,
+    FaultError,
+    FaultPlan,
+    GCStall,
+    Hang,
+    fault_from_dict,
+    plan_from_config,
+)
+from repro.obs.trace import TRACE, TraceBuffer
+from repro.sim import Simulator
+
+SRV = 100e-6  # noiseless 4 KiB random-read service time of the test device
+
+
+def make_device(faults=None, parallelism=2, sigma=0.0, rng_seed=0):
+    sim = Simulator()
+    spec = DeviceSpec(
+        name="dev",
+        parallelism=parallelism,
+        srv_rand_read=SRV,
+        srv_seq_read=80e-6,
+        srv_rand_write=120e-6,
+        srv_seq_write=100e-6,
+        read_bw=1e9,
+        write_bw=1e9,
+        sigma=sigma,
+        nr_slots=64,
+    )
+    device = Device(sim, spec, np.random.default_rng(rng_seed), faults=faults)
+    return sim, device
+
+
+@pytest.fixture
+def group():
+    return CgroupTree().create("ws")
+
+
+def read_bio(group, sector=10_000):
+    # A non-zero random sector so device_sequential stays False.
+    return Bio(IOOp.READ, 4096, sector, group)
+
+
+class TestFaultWindows:
+    def test_negative_start_rejected(self):
+        with pytest.raises(FaultError):
+            GCStall(start=-0.1, duration=0.2)
+
+    def test_nonpositive_duration_rejected(self):
+        with pytest.raises(FaultError):
+            Brownout(start=0.0, duration=0.0)
+
+    def test_window_is_half_open(self):
+        fault = GCStall(start=1.0, duration=0.5)
+        assert not fault.active(0.999)
+        assert fault.active(1.0)
+        assert fault.active(1.499)
+        assert not fault.active(1.5)
+
+    def test_brownout_mult_below_one_rejected(self):
+        with pytest.raises(FaultError):
+            Brownout(start=0.0, duration=1.0, latency_mult=0.5)
+
+    @pytest.mark.parametrize("rate", [0.0, -0.1, 1.5])
+    def test_error_rate_out_of_range_rejected(self, rate):
+        with pytest.raises(FaultError):
+            ErrorBurst(start=0.0, duration=1.0, error_rate=rate)
+
+    def test_error_burst_op_validated(self):
+        with pytest.raises(FaultError):
+            ErrorBurst(start=0.0, duration=1.0, op="trim")
+
+    def test_hang_defaults_to_unbounded(self):
+        assert math.isinf(Hang(start=0.0).end)
+        assert Hang(start=0.0).active(1e9)
+
+
+class TestFaultPlan:
+    def test_non_window_rejected(self):
+        with pytest.raises(FaultError):
+            FaultPlan(["brownout"])
+
+    def test_inactive_windows_yield_no_fault(self, group):
+        plan = FaultPlan([Brownout(start=1.0, duration=1.0)])
+        assert plan.decide(0.5, read_bio(group)) is NO_FAULT
+
+    def test_brownouts_compose_multiplicatively(self, group):
+        plan = FaultPlan(
+            [
+                Brownout(start=0.0, duration=1.0, latency_mult=2.0),
+                Brownout(start=0.0, duration=1.0, latency_mult=3.0),
+            ]
+        )
+        assert plan.decide(0.5, read_bio(group)).latency_mult == pytest.approx(6.0)
+
+    def test_gc_stall_defers_to_window_end(self, group):
+        plan = FaultPlan(
+            [
+                GCStall(start=0.0, duration=0.4),
+                GCStall(start=0.0, duration=0.9),
+            ]
+        )
+        decision = plan.decide(0.25, read_bio(group))
+        assert decision.delay == pytest.approx(0.65)  # the *latest* end wins
+
+    def test_error_draw_without_rng_raises(self, group):
+        plan = FaultPlan([ErrorBurst(start=0.0, duration=1.0)])
+        with pytest.raises(FaultError, match="no RNG"):
+            plan.decide(0.5, read_bio(group))
+
+    def test_error_decisions_deterministic_per_seed(self, group):
+        def decisions(seed):
+            plan = FaultPlan(
+                [ErrorBurst(start=0.0, duration=1.0, error_rate=0.5)], seed=seed
+            )
+            return [plan.decide(0.5, read_bio(group)).error for _ in range(64)]
+
+        run = decisions(42)
+        assert run == decisions(42)
+        assert any(run) and not all(run)
+
+    def test_op_filter_skips_non_matching_requests(self, group):
+        plan = FaultPlan(
+            [ErrorBurst(start=0.0, duration=1.0, op="write")], seed=1
+        )
+        # Reads never match a write burst — and never consume a draw.
+        assert not plan.decide(0.5, read_bio(group)).error
+        write = Bio(IOOp.WRITE, 4096, 0, group)
+        assert plan.decide(0.5, write).error
+
+    def test_bind_does_not_override_seed(self, group):
+        plan = FaultPlan([ErrorBurst(start=0.0, duration=1.0)], seed=7)
+        baseline = [plan.decide(0.5, read_bio(group)).error for _ in range(8)]
+        rebound = FaultPlan([ErrorBurst(start=0.0, duration=1.0)], seed=7)
+        rebound.bind(np.random.default_rng(999))
+        assert [rebound.decide(0.5, read_bio(group)).error for _ in range(8)] == baseline
+
+    def test_hang_active_tracks_windows(self):
+        plan = FaultPlan([Hang(start=1.0, duration=2.0)])
+        assert not plan.hang_active(0.5)
+        assert plan.hang_active(1.5)
+        assert not plan.hang_active(3.5)
+
+
+class TestConfigSurface:
+    def test_fault_from_dict_builds_each_kind(self):
+        assert isinstance(
+            fault_from_dict({"kind": "brownout", "start": 0, "duration": 1}), Brownout
+        )
+        burst = fault_from_dict(
+            {"kind": "error_burst", "start": 0, "duration": 1, "error_rate": 0.25}
+        )
+        assert isinstance(burst, ErrorBurst) and burst.error_rate == 0.25
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(FaultError, match="unknown fault kind"):
+            fault_from_dict({"kind": "meteor", "start": 0, "duration": 1})
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(FaultError, match="bad parameters"):
+            fault_from_dict({"kind": "gc_stall", "start": 0, "duration": 1, "x": 2})
+
+    def test_plan_from_config(self):
+        plan = plan_from_config(
+            [
+                {"kind": "gc_stall", "start": 0.1, "duration": 0.2},
+                {"kind": "hang", "start": 0.5, "duration": 0.1},
+            ],
+            seed=3,
+        )
+        assert len(plan) == 2
+
+
+class TestDeviceFaults:
+    def test_error_burst_fails_bios_without_completing_them_as_ok(self, group):
+        plan = FaultPlan([ErrorBurst(start=0.0, duration=1.0)], seed=0)
+        sim, device = make_device(faults=plan)
+        done = []
+        device.on_complete = done.append
+        device.submit(read_bio(group))
+        sim.run()
+        assert [bio.status for bio in done] == [BioStatus.EIO]
+        assert device.errored_ios == 1
+        assert device.completed_ios == 0 and device.completed_bytes == 0
+
+    def test_finite_hang_parks_then_resumes(self, group):
+        plan = FaultPlan([Hang(start=0.01, duration=0.05)])
+        sim, device = make_device(faults=plan)
+        done = []
+        device.on_complete = done.append
+        sim.schedule(0.02, device.submit, read_bio(group))
+        sim.run(until=0.03)
+        assert not done and device.in_flight == 1  # parked, channel held
+        sim.run()
+        assert len(done) == 1
+        # Resumed at the window's end with its full pre-drawn service time.
+        assert sim.now == pytest.approx(0.06 + SRV)
+
+    def test_unbounded_hang_never_completes(self, group):
+        plan = FaultPlan([Hang(start=0.0)])
+        sim, device = make_device(faults=plan)
+        done = []
+        device.on_complete = done.append
+        device.submit(read_bio(group))
+        sim.run()
+        assert not done and device.in_flight == 1
+
+    def test_abort_reclaims_parked_bio_and_frees_channel(self, group):
+        plan = FaultPlan([Hang(start=0.0)])
+        sim, device = make_device(faults=plan, parallelism=1)
+        done = []
+        device.on_complete = done.append
+        hung = read_bio(group)
+        queued = read_bio(group, sector=20_000)
+        device.submit(hung)
+        device.submit(queued)  # waits behind the hung bio's channel
+        sim.run()
+        assert device.abort(hung) is True
+        assert device.aborted_ios == 1
+        # Freeing the channel begins the queued request... which hangs too.
+        assert device.in_flight == 1
+        assert device.abort(hung) is False  # no longer held
+
+    def test_abort_cancels_in_service_completion(self, group):
+        sim, device = make_device()
+        done = []
+        device.on_complete = done.append
+        bio = read_bio(group)
+        device.submit(bio)
+        assert device.abort(bio) is True
+        sim.run()
+        assert not done and device.in_flight == 0
+
+    def test_fault_plan_never_perturbs_service_noise(self, group):
+        """The determinism contract: with sigma noise, per-bio service times
+        are identical with and without an (independently seeded) fault plan."""
+
+        def completion_times(faults):
+            sim, device = make_device(faults=faults, sigma=0.3, parallelism=1)
+            done = []
+            device.on_complete = lambda bio: done.append(sim.now)
+            for index in range(16):
+                sim.schedule(index * 0.01, device.submit, read_bio(group))
+            sim.run()
+            return done
+
+        plan = FaultPlan(
+            [ErrorBurst(start=0.0, duration=1.0, error_rate=0.5)], seed=11
+        )
+        assert completion_times(plan) == completion_times(None)
+
+    def test_fault_boundary_tracepoints(self, group):
+        plan = FaultPlan(
+            [GCStall(start=0.01, duration=0.02), Hang(start=0.05)]
+        )
+        buffer = TraceBuffer().attach(
+            TRACE, events=("dev_fault_begin", "dev_fault_end")
+        )
+        try:
+            sim, _device = make_device(faults=plan)
+            sim.run()
+        finally:
+            buffer.detach()
+        events = [(e.name, e.fields["kind"], e.fields["index"]) for e in buffer.events]
+        assert events == [
+            ("dev_fault_begin", "gc_stall", 0),
+            ("dev_fault_end", "gc_stall", 0),
+            ("dev_fault_begin", "hang", 1),
+        ]
+        begin = buffer.events[0]
+        assert begin.fields["until"] == pytest.approx(0.03)
+        hang_begin = buffer.events[2]
+        assert hang_begin.fields["until"] == -1.0  # unbounded

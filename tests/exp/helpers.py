@@ -21,6 +21,14 @@ def always_fail(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
     raise RuntimeError(f"boom-{params.get('tag', '')}")
 
 
+def hang_forever(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
+    """Never returns: exercises the runner's wall-clock timeout kill path."""
+    import time
+
+    while True:  # pragma: no cover - the worker is terminated from outside
+        time.sleep(0.1)
+
+
 def fail_once_then_ok(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
     """Fails on the first attempt for each tag, succeeds on the retry.
 

@@ -55,8 +55,10 @@ class TestGoldenFormat:
 
         rendered = IOStat(tree).render("workload.slice/app")
         assert rendered == (
-            "8:0 rbytes=4096 wbytes=0 rios=1 wios=0 dbytes=0 dios=0 wait_usec=0\n"
-            "8:16 rbytes=0 wbytes=131072 rios=0 wios=2 dbytes=0 dios=0 wait_usec=0"
+            "8:0 rbytes=4096 wbytes=0 rios=1 wios=0 dbytes=0 dios=0 wait_usec=0"
+            " errors=0 requeues=0\n"
+            "8:16 rbytes=0 wbytes=131072 rios=0 wios=2 dbytes=0 dios=0"
+            " wait_usec=0 errors=0 requeues=0"
         )
 
     def test_parent_renders_recursive_per_device(self):

@@ -1,0 +1,161 @@
+"""SpanTracker fault-path behaviour: error/retry stitching, the bounded
+pending map, and fault-window annotations."""
+
+import pytest
+
+from repro.obs.spans import (
+    QUEUE_WAIT,
+    RETRY_WAIT,
+    SERVICE,
+    SpanError,
+    SpanTracker,
+)
+from repro.obs.trace import TraceRegistry
+
+USEC = 1e-6
+
+
+def make_registry() -> TraceRegistry:
+    return TraceRegistry()
+
+
+def bio_fields(bio_id, cgroup="/ws", dev="8:0", op="read", nbytes=4096):
+    return {"dev": dev, "id": bio_id, "cgroup": cgroup, "op": op, "nbytes": nbytes}
+
+
+def submit(registry, bio_id, time, **kw):
+    registry.point("bio_submit").emit(
+        time, **bio_fields(bio_id, **kw), sector=0, flags=0, prio=0
+    )
+
+
+def issue(registry, bio_id, time, **kw):
+    registry.point("bio_issue").emit(time, **bio_fields(bio_id, **kw), wait=0.0)
+
+
+def requeue(registry, bio_id, time, retries=1, status="eio", **kw):
+    registry.point("bio_requeue").emit(
+        time, **bio_fields(bio_id, **kw), status=status, retries=retries,
+        backoff=1e-3,
+    )
+
+
+def error(registry, bio_id, time, retries=0, status="eio", **kw):
+    registry.point("bio_error").emit(
+        time, **bio_fields(bio_id, **kw), status=status, retries=retries
+    )
+
+
+def complete(registry, bio_id, submit_time, time, **kw):
+    registry.point("bio_complete").emit(
+        time,
+        **bio_fields(bio_id, **kw),
+        sector=0,
+        flags=0,
+        prio=0,
+        submit_time=submit_time,
+        latency=time - submit_time,
+        device_latency=0.0,
+    )
+
+
+class TestRetryStage:
+    def test_retry_wait_spans_first_to_final_dispatch(self):
+        registry = make_registry()
+        tracker = SpanTracker().attach(registry)
+        # submit @0, issue @10, requeue @110, re-issue @210, complete @300.
+        submit(registry, 1, 0.0)
+        issue(registry, 1, 10 * USEC)
+        requeue(registry, 1, 110 * USEC)
+        issue(registry, 1, 210 * USEC)
+        complete(registry, 1, 0.0, 300 * USEC)
+        (span,) = tracker.spans
+        assert span.stages == (
+            (QUEUE_WAIT, 10), (RETRY_WAIT, 200), (SERVICE, 90)
+        )
+        assert span.status == "ok" and span.retries == 1
+        assert sum(d for _, d in span.stages) == span.end_to_end_usec
+
+    def test_error_closes_span_with_status(self):
+        registry = make_registry()
+        tracker = SpanTracker().attach(registry)
+        submit(registry, 1, 0.0)
+        issue(registry, 1, 10 * USEC)
+        error(registry, 1, 250 * USEC, retries=2)
+        (span,) = tracker.spans
+        assert span.status == "eio"
+        assert tracker.errored == 1
+        assert tracker.open_count == 0
+
+    def test_requeues_counted_even_for_eventual_success(self):
+        registry = make_registry()
+        tracker = SpanTracker().attach(registry)
+        submit(registry, 1, 0.0)
+        issue(registry, 1, 5 * USEC)
+        requeue(registry, 1, 50 * USEC, retries=1)
+        issue(registry, 1, 60 * USEC)
+        requeue(registry, 1, 120 * USEC, retries=2)
+        issue(registry, 1, 140 * USEC)
+        complete(registry, 1, 0.0, 200 * USEC)
+        (span,) = tracker.spans
+        assert span.retries == 2 and span.status == "ok"
+        assert tracker.errored == 0
+
+
+class TestPendingBound:
+    def test_validation(self):
+        with pytest.raises(SpanError):
+            SpanTracker(max_pending=0)
+
+    def test_oldest_open_span_evicted_at_bound(self):
+        registry = make_registry()
+        tracker = SpanTracker(max_pending=2).attach(registry)
+        submit(registry, 1, 0.0)
+        submit(registry, 2, 10 * USEC)
+        submit(registry, 3, 20 * USEC)  # evicts bio 1
+        assert tracker.evicted == 1
+        assert tracker.open_count == 2
+        # Bio 1's completion is now an orphan, not a span.
+        complete(registry, 1, 0.0, 100 * USEC)
+        assert tracker.orphan_events == 1 and not tracker.spans
+        # Bios 2 and 3 still stitch normally.
+        issue(registry, 2, 30 * USEC)
+        complete(registry, 2, 10 * USEC, 90 * USEC)
+        (span,) = tracker.spans
+        assert span.bio_id == 2
+
+    def test_describe_reports_eviction_and_errors(self):
+        registry = make_registry()
+        tracker = SpanTracker(max_pending=1).attach(registry)
+        submit(registry, 1, 0.0)
+        submit(registry, 2, 10 * USEC)  # evicts bio 1
+        text = tracker.describe()
+        assert "evicted=1" in text
+        issue(registry, 2, 20 * USEC)
+        error(registry, 2, 90 * USEC)
+        text = tracker.describe()
+        assert "errored=1" in text and "evicted=1" in text
+        assert "pending bound 1" in text
+
+
+class TestFaultAnnotations:
+    def test_fault_windows_annotate_open_spans_on_device(self):
+        registry = make_registry()
+        tracker = SpanTracker().attach(registry)
+        submit(registry, 1, 0.0, dev="8:0")
+        submit(registry, 2, 0.0, dev="8:16")  # other device: untouched
+        registry.point("dev_fault_begin").emit(
+            50 * USEC, dev="8:0", kind="gc_stall", index=0, until=100 * USEC
+        )
+        registry.point("dev_fault_end").emit(
+            100 * USEC, dev="8:0", kind="gc_stall", index=0
+        )
+        issue(registry, 1, 110 * USEC)
+        complete(registry, 1, 0.0, 150 * USEC)
+        issue(registry, 2, 20 * USEC, dev="8:16")
+        complete(registry, 2, 0.0, 60 * USEC, dev="8:16")
+        spans = {span.bio_id: span for span in tracker.spans}
+        kinds = [a.event for a in spans[1].annotations]
+        assert kinds == ["dev_fault_begin", "dev_fault_end"]
+        assert "kind=gc_stall" in spans[1].annotations[0].detail
+        assert spans[2].annotations == ()

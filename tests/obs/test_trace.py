@@ -323,6 +323,12 @@ class TestCataloguedRoundTrip:
         "free_bytes": 1 << 20,
         "owner": "a",
         "charged_to": "b",
+        # Fault-path events (bio_error / bio_requeue / dev_fault_*).
+        "status": "eio",
+        "retries": 2,
+        "backoff": 4e-3,
+        "index": 0,
+        "until": 1.5,
     }
 
     @pytest.mark.parametrize("name", sorted(EVENT_CATALOGUE))

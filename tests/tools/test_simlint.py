@@ -135,6 +135,36 @@ class TestTraceCatalogue:
         assert "bio_submit" in catalogue
         assert "dev" in optional
 
+    def test_catalogue_includes_fault_path_events(self):
+        catalogue, _ = load_catalogue()
+        assert catalogue["bio_error"] == (
+            "dev", "id", "cgroup", "op", "nbytes", "status", "retries",
+        )
+        assert catalogue["bio_requeue"] == (
+            "dev", "id", "cgroup", "op", "nbytes", "status", "retries",
+            "backoff",
+        )
+        assert catalogue["dev_fault_begin"] == ("dev", "kind", "index", "until")
+        assert catalogue["dev_fault_end"] == ("dev", "kind", "index")
+
+    def test_fault_event_emit_with_unknown_field_flagged(self):
+        source = (
+            "from repro.obs.trace import TRACE\n"
+            '_TP = TRACE.points["bio_error"]\n'
+            "_TP.emit(0.0, dev='8:0', id=1, cgroup='ws', op='read',\n"
+            "         nbytes=4096, status='eio', retrys=2)\n"
+        )
+        found = findings_for(source, "trace-catalogue")
+        assert any("retrys" in finding.message for finding in found)
+
+    def test_fault_event_emit_matching_catalogue_is_clean(self):
+        source = (
+            "from repro.obs.trace import TRACE\n"
+            '_TP = TRACE.points["dev_fault_begin"]\n'
+            "_TP.emit(0.0, dev='8:0', kind='hang', index=0, until=-1.0)\n"
+        )
+        assert not findings_for(source, "trace-catalogue")
+
     def test_unknown_point_name_flagged(self):
         source = (
             "from repro.obs.trace import TRACE\n"
