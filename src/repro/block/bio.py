@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import enum
 import itertools
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING, Callable, Optional
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.cgroup import Cgroup
@@ -20,6 +20,19 @@ if TYPE_CHECKING:  # pragma: no cover
 SECTOR_SIZE = 512
 
 _bio_ids = itertools.count()
+
+
+def reset_bio_ids() -> None:
+    """Restart the global bio id counter from zero.
+
+    Bio ids appear in traces; a long-lived process that runs several
+    simulations back to back (the ``repro.exp`` worker pool, test suites)
+    would otherwise carry the counter across runs, making trace bytes
+    depend on pool scheduling.  :class:`repro.testbed.Testbed` calls this
+    on construction so every simulated machine starts from bio #0.
+    """
+    global _bio_ids
+    _bio_ids = itertools.count()
 
 
 class IOOp(enum.Enum):
@@ -66,6 +79,7 @@ class Bio:
     __slots__ = (
         "id",
         "op",
+        "is_write",
         "nbytes",
         "sector",
         "cgroup",
@@ -75,6 +89,7 @@ class Bio:
         "issue_time",
         "complete_time",
         "completion",
+        "on_done",
         "sequential",
         "device_sequential",
         "abs_cost",
@@ -97,6 +112,9 @@ class Bio:
             raise ValueError("bio sector must be non-negative")
         self.id = next(_bio_ids)
         self.op = op
+        # Plain attribute, not a property: read several times per bio on
+        # the hot path (cost model, device queues, completion accounting).
+        self.is_write = op is IOOp.WRITE
         self.nbytes = nbytes
         self.sector = sector
         self.cgroup = cgroup
@@ -110,6 +128,10 @@ class Bio:
         self.complete_time: Optional[float] = None
         # Fired (with this bio) when the device completes the request.
         self.completion: Optional["Signal"] = None
+        # Callback fast path (docs/PERF.md): set by submit(bio, on_done=...)
+        # instead of allocating a completion Signal.  Exactly one of
+        # ``completion`` / ``on_done`` is set by the block layer.
+        self.on_done: Optional[Callable[["Bio"], None]] = None
         # Sequential relative to the issuing cgroup's previous IO on the
         # device (the cost-model feature, §3.2); set by the block layer.
         self.sequential: bool = False
@@ -122,10 +144,6 @@ class Bio:
         self.status: BioStatus = BioStatus.OK
         # Times the block layer requeued this bio after an error/timeout.
         self.retries: int = 0
-
-    @property
-    def is_write(self) -> bool:
-        return self.op is IOOp.WRITE
 
     @property
     def ok(self) -> bool:

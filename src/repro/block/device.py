@@ -25,6 +25,7 @@ Service begins in FIFO order per the internal queue; scheduling policy
 
 from __future__ import annotations
 
+import hashlib
 import math
 from collections import deque
 from dataclasses import dataclass, field, replace
@@ -125,6 +126,33 @@ class DeviceSpec:
 #: (single-device rigs, unit tests).  Matches the kernel's first SCSI disk.
 DEFAULT_DEVNO = "8:0"
 
+#: Service-noise draws pre-computed per refill (docs/PERF.md).  Chunk size
+#: is a pure performance knob: numpy array draws consume the bit stream
+#: identically to scalar draws, so the sampled sequence is chunk-invariant.
+NOISE_CHUNK = 4096
+
+
+def noise_stream(rng: np.random.Generator, label: str) -> np.random.Generator:
+    """A label-keyed child stream of ``rng``'s seed material.
+
+    Mirrors ``Testbed.rng_for``'s SeedSequence labeling: the child's spawn
+    key extends the parent's with a hash of ``label``, so sub-streams are a
+    pure function of (machine seed, device label, noise label) and never
+    consume — or perturb — the parent stream.  Falls back to drawing one
+    seed from ``rng`` when it carries no SeedSequence (hand-built
+    generators in tests); that consumes parent draws, so catalogue devices
+    always take the labeled path.
+    """
+    seed_seq = getattr(rng.bit_generator, "seed_seq", None)
+    entropy = getattr(seed_seq, "entropy", None)
+    if entropy is None:
+        return np.random.default_rng(int(rng.integers(0, 2 ** 63)))
+    key = int.from_bytes(hashlib.sha256(label.encode()).digest()[:8], "big")
+    spawn_key = tuple(getattr(seed_seq, "spawn_key", ())) + (key,)
+    return np.random.default_rng(
+        np.random.SeedSequence(entropy=entropy, spawn_key=spawn_key)
+    )
+
 
 class Device:
     """Discrete-event model of one block device.
@@ -146,12 +174,29 @@ class Device:
         name: Optional[str] = None,
         devno: str = DEFAULT_DEVNO,
         faults: Optional["FaultPlan"] = None,
-    ):
+    ) -> None:
         self.sim = sim
         self.spec = spec
         self.rng = rng
         self.name = name if name is not None else spec.name
         self.devno = devno
+        # Cached: checked once per submitted bio.
+        self._parallelism = spec.parallelism
+        # Vectorized service-time noise (docs/PERF.md): scalar per-bio
+        # rng.normal()/rng.random() draws are replaced by chunked pre-draws
+        # from two label-keyed sub-streams of this device's seed material.
+        # Streams are split by *label*, not draw order, so the sigma
+        # sequence is identical whether or not the spec has a stall tail
+        # (and vice versa), and fault plans — which draw from their own
+        # stream — can never shift either.  The multipliers are
+        # pre-exponentiated: one float multiply per bio replaces a scalar
+        # normal draw plus math.exp.
+        self._noise_mult: List[float] = []
+        self._noise_i = 0
+        self._tail_draws: List[float] = []
+        self._tail_i = 0
+        self._sigma_rng = noise_stream(rng, "noise:sigma") if spec.sigma > 0 else None
+        self._tail_rng = noise_stream(rng, "noise:tail") if spec.tail_prob > 0 else None
         self.on_complete: Optional[Callable[[Bio], None]] = None
         # Internal queues: reads are serviced ahead of queued writes (flash
         # controllers buffer writes and prioritise reads), with a small
@@ -201,7 +246,7 @@ class Device:
 
     def submit(self, bio: Bio) -> None:
         """Accept a dispatched bio; begins service now or queues internally."""
-        if self._busy_channels < self.spec.parallelism:
+        if self._busy_channels < self._parallelism:
             self._begin(bio)
         elif bio.is_write:
             self._write_queue.append(bio)
@@ -276,7 +321,8 @@ class Device:
         else:
             base = spec.srv_seq_read if bio.device_sequential else spec.srv_rand_read
             channel_bw = spec.read_bw / spec.parallelism
-        service = base + max(0, bio.nbytes - 4096) / channel_bw
+        nbytes = bio.nbytes
+        service = base if nbytes <= 4096 else base + (nbytes - 4096) / channel_bw
 
         # Garbage-collection degradation.
         if spec.gc_buffer_bytes > 0:
@@ -287,11 +333,25 @@ class Device:
                 service *= spec.gc_write_slowdown if bio.is_write else spec.gc_read_slowdown
                 self.gc_slow_ios += 1
 
-        # Service-time noise with optional stall tail.
-        if spec.sigma > 0:
-            service *= math.exp(self.rng.normal(0.0, spec.sigma))
-        if spec.tail_prob > 0 and self.rng.random() < spec.tail_prob:
-            service *= spec.tail_scale
+        # Service-time noise with optional stall tail, from the chunked
+        # label-keyed sub-streams (see __init__ / docs/PERF.md).
+        if self._sigma_rng is not None:
+            i = self._noise_i
+            if i == len(self._noise_mult):
+                self._noise_mult = np.exp(
+                    self._sigma_rng.normal(0.0, spec.sigma, NOISE_CHUNK)
+                ).tolist()
+                i = 0
+            self._noise_i = i + 1
+            service *= self._noise_mult[i]
+        if self._tail_rng is not None:
+            i = self._tail_i
+            if i == len(self._tail_draws):
+                self._tail_draws = self._tail_rng.random(NOISE_CHUNK).tolist()
+                i = 0
+            self._tail_i = i + 1
+            if self._tail_draws[i] < spec.tail_prob:
+                service *= spec.tail_scale
         return service + spec.network_rtt
 
     def _begin(self, bio: Bio) -> None:
@@ -330,9 +390,10 @@ class Device:
             self.completed_bytes += bio.nbytes
         else:
             self.errored_ios += 1
-        nxt = self._pop_next()
-        if nxt is not None:
-            self._begin(nxt)
+        if self._read_queue or self._write_queue:
+            nxt = self._pop_next()
+            if nxt is not None:
+                self._begin(nxt)
         if self.on_complete is not None:
             self.on_complete(bio)
         # Emitted after the block layer's completion hook so the bio's
@@ -393,14 +454,19 @@ class Device:
     def _schedule_fault_windows(self, plan: "FaultPlan") -> None:
         # Boundaries are scheduled unconditionally (not trace-gated) so a
         # finite hang resumes its parked bios whether or not anyone traces.
+        # Batched through schedule_bulk: one heap restore for the whole
+        # plan instead of one push per window boundary.
+        now = self.sim.now
+        entries = []
         for index, fault in enumerate(plan.faults):
-            self.sim.schedule(
-                max(0.0, fault.start - self.sim.now), self._fault_begin, index, fault
+            entries.append(
+                (max(0.0, fault.start - now), self._fault_begin, (index, fault))
             )
             if math.isfinite(fault.end):
-                self.sim.schedule(
-                    max(0.0, fault.end - self.sim.now), self._fault_end, index, fault
+                entries.append(
+                    (max(0.0, fault.end - now), self._fault_end, (index, fault))
                 )
+        self.sim.schedule_bulk(entries)
 
     def _fault_begin(self, index: int, fault: object) -> None:
         if self._tp_fault_begin.enabled:

@@ -25,7 +25,7 @@ beats sector-based fairness.
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Any, Dict
 
 from repro.block.device import DeviceSpec
 
@@ -41,7 +41,7 @@ def _ssd(
     write_lat: float,
     read_bw: float,
     write_bw: float,
-    **kwargs,
+    **kwargs: Any,
 ) -> DeviceSpec:
     """Build an SSD spec from headline numbers.
 

@@ -23,7 +23,7 @@ kernel block layer provides around them:
 from __future__ import annotations
 
 from collections import deque
-from typing import TYPE_CHECKING, Deque, Dict, Optional
+from typing import TYPE_CHECKING, Callable, Deque, Dict, Optional
 
 from repro.analysis.stats import LatencyWindow
 from repro.block.bio import Bio, BioStatus
@@ -67,6 +67,9 @@ class BlockLayer:
         self.controller = controller
         #: Stable ``maj:min`` device id all per-device accounting keys on.
         self.dev = device.devno
+        #: Cached ``device.spec.nr_slots``: can_dispatch() runs several
+        #: times per bio and must not chase three attributes each time.
+        self._nr_slots = device.spec.nr_slots
         device.on_complete = self._device_completed
         controller.attach(self)
 
@@ -116,12 +119,40 @@ class BlockLayer:
 
     # -- submission ---------------------------------------------------------
 
-    def submit(self, bio: Bio) -> Signal:
-        """Enter a bio into the block layer; returns its completion signal."""
+    def submit(
+        self, bio: Bio, on_done: Optional[Callable[[Bio], None]] = None
+    ) -> Optional[Signal]:
+        """Enter a bio into the block layer.
+
+        Without ``on_done`` this returns the bio's completion
+        :class:`~repro.sim.Signal` (the Process/Signal protocol).  With
+        ``on_done`` — the callback fast path (docs/PERF.md) — no Signal is
+        allocated; ``on_done(bio)`` is invoked at the exact point the
+        signal would have fired, and the method returns None.  Completion
+        order and timing are identical on both paths: Signals fire their
+        waiters synchronously, so the fast path only removes the
+        allocation and indirection, never reorders events.
+        """
         bio.submit_time = self.sim.now
-        bio.completion = self.sim.signal()
-        self._detect_sequential(bio)
-        bio.cgroup.stats.account(bio.is_write, bio.nbytes, self.dev)
+        if on_done is not None:
+            bio.on_done = on_done
+        else:
+            bio.completion = self.sim.signal()
+        # Inlined _detect_sequential (hot path).  Keyed by devno, not spec
+        # name: two devices of the same model must not share a cgroup's
+        # sequentiality tracker.
+        last_end = bio.cgroup.last_end_sector.get(self.dev)
+        bio.sequential = last_end is not None and bio.sector == last_end
+        bio.cgroup.last_end_sector[self.dev] = bio.end_sector
+        # Inlined CgroupIOStats.account(is_write, nbytes, dev): the
+        # per-device record is the layer's hottest shared-state touch.
+        record = bio.cgroup.stats.device(self.dev)
+        if bio.is_write:
+            record.wbytes += bio.nbytes
+            record.wios += 1
+        else:
+            record.rbytes += bio.nbytes
+            record.rios += 1
         self.submitted_ios += 1
         if self._prof.enabled:
             self._prof.bios_submitted += 1
@@ -137,29 +168,22 @@ class BlockLayer:
                 flags=bio.flags.value,
                 prio=bio.prio,
             )
-        if not self.can_dispatch():
+        if self.inflight >= self._nr_slots:
             self.depleted_events += 1
         self.controller.enqueue(bio)
         self.controller.pump()
         return bio.completion
 
-    def _detect_sequential(self, bio: Bio) -> None:
-        # Keyed by devno, not spec name: two devices of the same model must
-        # not share a cgroup's sequentiality tracker.
-        last_end = bio.cgroup.last_end_sector.get(self.dev)
-        bio.sequential = last_end is not None and bio.sector == last_end
-        bio.cgroup.last_end_sector[self.dev] = bio.end_sector
-
     # -- dispatch (controller-facing) ----------------------------------------
 
     def can_dispatch(self) -> bool:
         """True while request slots remain for this device."""
-        return self.inflight < self.device.spec.nr_slots
+        return self.inflight < self._nr_slots
 
     @property
     def slot_utilization(self) -> float:
         """Fraction of request slots in use (saturation signal)."""
-        return self.inflight / self.device.spec.nr_slots
+        return self.inflight / self._nr_slots
 
     def dispatch(self, bio: Bio) -> None:
         """Send a bio to the device, charging the controller's CPU cost."""
@@ -198,9 +222,10 @@ class BlockLayer:
     # -- completion / failure --------------------------------------------------
 
     def _device_completed(self, bio: Bio) -> None:
-        timer = self._timeouts.pop(bio.id, None)
-        if timer is not None:
-            timer.cancel()
+        if self.io_timeout is not None:
+            timer = self._timeouts.pop(bio.id, None)
+            if timer is not None:
+                timer.cancel()
         self._finish(bio)
 
     def _timed_out(self, bio: Bio) -> None:
@@ -223,7 +248,8 @@ class BlockLayer:
         self.inflight -= 1
         if bio.status is not BioStatus.OK and bio.retries < self.max_retries:
             self._requeue(bio)
-            self._drain_retries()
+            if self._retryq:
+                self._drain_retries()
             self.controller.pump()
             return
 
@@ -232,7 +258,7 @@ class BlockLayer:
         if self._prof.enabled:
             self._prof.bios_completed += 1
         path = bio.cgroup.path
-        if bio.ok:
+        if bio.status is BioStatus.OK:
             self.completed_bytes += bio.nbytes
             self.completed_by_cgroup[path] = self.completed_by_cgroup.get(path, 0) + 1
             self.bytes_by_cgroup[path] = self.bytes_by_cgroup.get(path, 0) + bio.nbytes
@@ -258,19 +284,31 @@ class BlockLayer:
         # Failed bios feed the latency windows too: a timed-out bio records
         # its full io_timeout, which is exactly the degraded-latency signal
         # the QoS vrate loop must react to (graceful degradation).
+        now = self.sim.now
         latency = bio.device_latency
         if bio.is_write:
-            self.write_latency.record(self.sim.now, latency)
+            self.write_latency.record(now, latency)
         else:
-            self.read_latency.record(self.sim.now, latency)
-        self.cgroup_window(path).record(self.sim.now, latency)
+            self.read_latency.record(now, latency)
+        # Inlined cgroup_window(): one dict probe on the common path.
+        window = self.cgroup_latency.get(path)
+        if window is None:
+            window = LatencyWindow(self._latency_window)
+            self.cgroup_latency[path] = window
+        window.record(now, latency)
 
         self.controller.on_complete(bio)
-        self._drain_retries()
+        if self._retryq:
+            self._drain_retries()
         self.controller.pump()
-        if bio.completion is None:
+        # Callback fast path first (docs/PERF.md); exactly one of the two
+        # completion channels was set by submit().
+        if bio.on_done is not None:
+            bio.on_done(bio)
+        elif bio.completion is not None:
+            bio.completion.fire(bio)
+        else:
             raise BlockLayerError("bio completed without passing submit()")
-        bio.completion.fire(bio)
 
     # -- retry ----------------------------------------------------------------
 

@@ -56,7 +56,7 @@ class TraceRecorder:
     experiment without disturbing it.
     """
 
-    def __init__(self, layer: BlockLayer):
+    def __init__(self, layer: BlockLayer) -> None:
         self.layer = layer
         self.records: List[TraceRecord] = []
         self._installed = False
@@ -111,7 +111,7 @@ class TraceReplayer:
         cgroups: CgroupTree,
         records: Iterable[TraceRecord],
         time_scale: float = 1.0,
-    ):
+    ) -> None:
         if time_scale <= 0:
             raise ValueError("time_scale must be positive")
         self.sim = sim

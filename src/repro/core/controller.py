@@ -18,7 +18,7 @@ Swap/journal bios follow the §3.5 debt protocol, selectable via
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Optional
+from typing import Deque, Dict, Optional
 
 from repro.analysis.stats import LatencyWindow
 from repro.block.bio import Bio, BioFlags
@@ -35,6 +35,9 @@ from repro.obs.trace import TRACE
 
 #: Bios carrying these flags bypass budget under the debt protocol.
 URGENT_FLAGS = BioFlags.SWAP | BioFlags.JOURNAL
+#: Integer value of URGENT_FLAGS: the enqueue fast path tests flag bits as
+#: ints because ``Flag.__and__`` constructs an enum member per call.
+_URGENT_VAL = URGENT_FLAGS.value
 
 #: A leaf using less than this fraction of its hweight becomes a donor.
 DONATION_THRESHOLD = 0.9
@@ -43,6 +46,13 @@ DONATION_THRESHOLD = 0.9
 DONATION_HEADROOM = 1.2
 #: Minimum fraction of its hweight a donor always keeps.
 DONATION_MIN_KEEP = 0.02
+
+_INF = float("inf")
+
+
+def _group_seq(state: GroupState) -> int:
+    """Sort key: visit backlogged groups in creation order (see pump)."""
+    return state.seq
 
 
 class IOCost(IOController):
@@ -86,6 +96,12 @@ class IOCost(IOController):
         self.budget_cap = qos.period
 
         self._urgent: Deque[Bio] = deque()
+        #: Groups whose waitq is non-empty (docs/PERF.md): ``pump()`` runs
+        #: ~2× per bio, so it must not scan every group state.  Maintained
+        #: at the two waitq touch points (enqueue append, _try_issue
+        #: popleft); visited in group-creation order, matching the old
+        #: full scan over the states dict.
+        self._backlogged: Dict[GroupState, None] = {}
         self._plan_timer = None
         # Period counters.
         self._budget_blocked_events = 0
@@ -166,14 +182,15 @@ class IOCost(IOController):
     def enqueue(self, bio: Bio) -> None:
         group = self.tree.state_of(bio.cgroup)
         bio.abs_cost = self.model.cost(bio)
-        self._activate(group)
+        if not group.active:
+            self._activate(group)
         group.period_ios += 1
 
         # Only reclaim-side *writes* (swap-out, journal) are the §3.5
         # priority-inversion case: they complete on behalf of some other
         # cgroup.  Swap-in reads are synchronous for the faulting cgroup
         # itself and are throttled like any other IO.
-        urgent = bool(bio.flags & URGENT_FLAGS) and bio.is_write
+        urgent = bio.is_write and (bio.flags.value & _URGENT_VAL) != 0
         if urgent and self.swap_mode is not SwapChargeMode.ORIGIN_THROTTLE:
             if self.swap_mode is SwapChargeMode.DEBT:
                 # Charge the owner: local vtime runs ahead (debt), but the
@@ -203,6 +220,8 @@ class IOCost(IOController):
             self._urgent.append(bio)
             return
 
+        if not group.waitq:
+            self._backlogged[group] = None
         group.waitq.append(bio)
 
     def pump(self) -> None:
@@ -210,11 +229,22 @@ class IOCost(IOController):
         if self._prof.enabled:
             self._prof.pump_calls += 1
         # Urgent (swap/journal) bios first: they bypass budget entirely.
-        while self._urgent and layer.can_dispatch():
-            layer.dispatch(self._urgent.popleft())
+        if self._urgent:
+            while self._urgent and layer.can_dispatch():
+                layer.dispatch(self._urgent.popleft())
+        # Ordered cheapest-check-first: the completion-side pump usually
+        # finds nothing backlogged and must cost two truth tests.
+        backlogged = self._backlogged
+        if not backlogged:
+            return
         if not layer.can_dispatch():
             return
-        for state in self.tree.states():
+        if len(backlogged) == 1:
+            # The common case: one group waiting on budget.  _try_issue
+            # drops it from the map itself when the waitq drains.
+            self._try_issue(next(iter(backlogged)))
+            return
+        for state in sorted(backlogged, key=_group_seq):
             if state.waitq:
                 self._try_issue(state)
                 if not layer.can_dispatch():
@@ -229,18 +259,23 @@ class IOCost(IOController):
 
     def _try_issue(self, group: GroupState) -> None:
         layer = self.layer
-        while group.waitq and layer.can_dispatch():
-            bio = group.waitq[0]
-            hweight = self.tree.hweight(group)
-            if hweight <= 0:
+        tree = self.tree
+        waitq = group.waitq
+        while waitq and layer.can_dispatch():
+            bio = waitq[0]
+            # Cached reciprocal: the per-bio charge is a multiply, not a
+            # division (hierarchy.hweight_inv, same generation keying as
+            # the hweight cache itself).
+            inv_hweight = tree.hweight_inv(group)
+            if inv_hweight == _INF:
                 break
-            relative = bio.abs_cost / hweight
+            relative = bio.abs_cost * inv_hweight
             # A donor whose donated share cannot even afford this IO from a
             # full budget bank rescinds *before* issuing — otherwise the
-            # oversize-issue rule below would charge a catastophically
+            # oversize-issue rule below would charge a catastrophically
             # inflated relative cost against the shrunken weight.
             if group.donating and relative > self.budget_cap:
-                self.tree.rescind(group)
+                tree.rescind(group)
                 self.rescinds += 1
                 continue
             now_v = self.clock.now()
@@ -257,19 +292,21 @@ class IOCost(IOController):
             if budget + 1e-12 >= need:
                 group.local_vtime += relative
                 group.abs_usage += bio.abs_cost
-                group.waitq.popleft()
+                waitq.popleft()
                 layer.dispatch(bio)
             else:
                 if group.donating:
                     # §3.6: a donor whose budget runs low rescinds locally
                     # in the issue path and retries with restored weight.
-                    self.tree.rescind(group)
+                    tree.rescind(group)
                     self.rescinds += 1
                     continue
                 self._budget_blocked_events += 1
                 self.note_throttle(bio, "budget")
                 self._arm_wake(group, need - budget)
                 break
+        if not waitq:
+            self._backlogged.pop(group, None)
 
     def _arm_wake(self, group: GroupState, vtime_gap: float) -> None:
         if group.wake_event is not None:

@@ -31,6 +31,9 @@ class GroupState:
     def __init__(self, cgroup: Cgroup, parent: Optional["GroupState"]):
         self.cgroup = cgroup
         self.parent = parent
+        # Creation ordinal: the issue path visits backlogged groups in this
+        # order, matching the old full-scan order over the states dict.
+        self.seq = 0
         self.children: Dict[str, GroupState] = {}
         # Effective weight: the configured weight, lowered while donating.
         self.weight_eff: float = float(cgroup.weight)
@@ -53,9 +56,12 @@ class GroupState:
         self.indebt_total = 0.0   # wall seconds observed in debt
         self.indelay_total = 0.0  # wall seconds of userspace-boundary delay
         # Debt in relative-vtime seconds beyond global vtime (see debt.py).
-        # Hweight cache.
+        # Hweight cache (and its cached reciprocal — the issue path charges
+        # ``abs_cost / hweight`` per bio, so the division is hoisted here).
         self._hw_gen = -1
         self._hw_value = 0.0
+        self._hw_inv_gen = -1
+        self._hw_inv = 0.0
 
     @property
     def is_leaf_like(self) -> bool:
@@ -85,6 +91,7 @@ class WeightTree:
         if cgroup.parent is not None:
             parent_state = self.state_of(cgroup.parent)
         state = GroupState(cgroup, parent_state)
+        state.seq = len(self._states)
         self._states[cgroup.path] = state
         if parent_state is not None:
             parent_state.children[cgroup.name] = state
@@ -163,6 +170,21 @@ class WeightTree:
         state._hw_gen = self.generation
         state._hw_value = value
         return value
+
+    def hweight_inv(self, state: GroupState) -> float:
+        """Cached ``1.0 / hweight(state)`` (``inf`` for a zero hweight).
+
+        The per-bio charge is ``abs_cost / hweight``; caching the
+        reciprocal alongside the hweight turns that into a multiply on the
+        issue fast path.  Same generation keying as :meth:`hweight`.
+        """
+        if state._hw_inv_gen == self.generation:
+            return state._hw_inv
+        hweight = self.hweight(state)
+        inv = 1.0 / hweight if hweight > 0 else float("inf")
+        state._hw_inv_gen = self.generation
+        state._hw_inv = inv
+        return inv
 
     # -- weight updates ------------------------------------------------------------
 

@@ -14,13 +14,23 @@ Three primitives cover everything the reproduction needs:
 
 Determinism: ties in the event heap are broken by insertion order, so two
 runs with the same seeds produce identical traces.
+
+Hot-path layout (docs/PERF.md): heap entries are ``(time, seq, event)``
+tuples, not bare :class:`Event` objects, so every heap sift compares in C
+without ever calling back into Python — the ``seq`` tiebreaker is unique,
+so comparison never reaches the (non-comparable) event in slot 2.
+Cancellation stays on the :class:`Event` handle; a cancelled entry is left
+in the heap and discarded when popped.  :meth:`Simulator.run` inlines the
+pop/dispatch loop with the profiler guard hoisted out of it, and
+:meth:`Simulator.schedule_bulk` amortises batched timer creation into a
+single heap restore.
 """
 
 from __future__ import annotations
 
 import heapq
-import itertools
-from typing import Any, Callable, Generator, List, Optional
+import math
+from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
 
 from repro.obs.prof import PROF
 
@@ -37,14 +47,15 @@ class Event:
     """Handle for a scheduled callback.
 
     Returned by :meth:`Simulator.schedule`; supports cancellation, which is
-    how periodic timers and latency-governed workloads stand down.
+    how periodic timers and latency-governed workloads stand down.  The
+    handle is *not* the heap entry (see the module docstring): it only
+    carries what dispatch and cancellation need.
     """
 
-    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+    __slots__ = ("time", "callback", "args", "cancelled")
 
-    def __init__(self, time: float, seq: int, callback: Callable[..., Any], args: tuple):
+    def __init__(self, time: float, callback: Callable[..., Any], args: tuple):
         self.time = time
-        self.seq = seq
         self.callback = callback
         self.args = args
         self.cancelled = False
@@ -52,9 +63,6 @@ class Event:
     def cancel(self) -> None:
         """Prevent the callback from running.  Idempotent."""
         self.cancelled = True
-
-    def __lt__(self, other: "Event") -> bool:
-        return (self.time, self.seq) < (other.time, other.seq)
 
 
 class Signal:
@@ -164,13 +172,17 @@ class Process:
             )
 
 
+#: Type of a heap entry: ``(time, seq, event)``.
+HeapEntry = Tuple[float, int, Event]
+
+
 class Simulator:
     """Event-heap simulator with a float clock in seconds."""
 
     def __init__(self) -> None:
         self.now = 0.0
-        self._heap: List[Event] = []
-        self._seq = itertools.count()
+        self._heap: List[HeapEntry] = []
+        self._seq = 0
         #: Callbacks dispatched so far — the denominator for per-event
         #: overhead accounting (repro.obs.overhead).
         self.events_processed = 0
@@ -181,17 +193,52 @@ class Simulator:
 
     def schedule(self, delay: float, callback: Callable[..., Any], *args: Any) -> Event:
         """Run ``callback(*args)`` after ``delay`` seconds; returns a handle."""
-        if delay < 0:
-            raise SimulationError("cannot schedule into the past")
-        event = Event(self.now + delay, next(self._seq), callback, args)
+        # ``not (delay >= 0)`` also catches NaN, which compares False both
+        # ways and would otherwise slip past a ``delay < 0`` check and
+        # corrupt the heap invariant.
+        if not delay >= 0.0 or delay == math.inf:
+            raise SimulationError(f"cannot schedule with delay {delay!r}")
+        event = Event(self.now + delay, callback, args)
         if self._prof.enabled:
             self._prof.heap_pushes += 1
-        heapq.heappush(self._heap, event)
+        self._seq += 1
+        heapq.heappush(self._heap, (event.time, self._seq, event))
         return event
 
     def schedule_at(self, time: float, callback: Callable[..., Any], *args: Any) -> Event:
         """Run ``callback(*args)`` at absolute simulated ``time``."""
         return self.schedule(time - self.now, callback, *args)
+
+    def schedule_bulk(
+        self, entries: Iterable[Tuple[float, Callable[..., Any], tuple]]
+    ) -> List[Event]:
+        """Schedule many ``(delay, callback, args)`` timers in one heap restore.
+
+        Semantically identical to calling :meth:`schedule` per entry (same
+        tie-break order: entries receive consecutive sequence numbers in
+        iteration order); the heap invariant is restored once at the end
+        with ``heapify`` — O(heap + batch) instead of O(batch · log heap) —
+        so batched completions or timer fan-outs cost one heap operation
+        per batch.
+        """
+        heap = self._heap
+        now = self.now
+        events: List[Event] = []
+        seq = self._seq
+        prof = self._prof
+        for delay, callback, args in entries:
+            if not delay >= 0.0 or delay == math.inf:
+                raise SimulationError(f"cannot schedule with delay {delay!r}")
+            event = Event(now + delay, callback, args)
+            seq += 1
+            heap.append((event.time, seq, event))
+            events.append(event)
+        self._seq = seq
+        if events:
+            heapq.heapify(heap)
+            if prof.enabled:
+                prof.heap_pushes += len(events)
+        return events
 
     def signal(self) -> Signal:
         """Create a fresh one-shot :class:`Signal` bound to this simulator."""
@@ -208,13 +255,14 @@ class Simulator:
     def step(self) -> bool:
         """Run the next pending event.  Returns False if the heap is empty."""
         prof = self._prof
-        while self._heap:
-            event = heapq.heappop(self._heap)
+        heap = self._heap
+        while heap:
+            time, _seq, event = heapq.heappop(heap)
             if prof.enabled:
                 prof.heap_pops += 1
             if event.cancelled:
                 continue
-            self.now = event.time
+            self.now = time
             self.events_processed += 1
             if prof.enabled:
                 prof.events_dispatched += 1
@@ -228,25 +276,69 @@ class Simulator:
         With ``until`` set, the clock is advanced to exactly ``until`` at the
         end even if no event lands there, so back-to-back ``run`` calls tile
         the timeline.
+
+        The dispatch loop is inlined (no per-event :meth:`step` call) with
+        the profiler guard hoisted: when the profiler is disabled — the
+        common case — each event costs one heap pop, one cancelled check,
+        and the callback itself.  The profiled variant falls back to
+        :meth:`step` so counter semantics stay in one place.
         """
+        if until is not None and until < self.now:
+            raise SimulationError("cannot run backwards")
+        if self._prof.enabled:
+            self._run_profiled(until)
+            return
+        heap = self._heap
+        pop = heapq.heappop
+        dispatched = 0
+        # ``events_processed`` is batched back in a finally so a raising
+        # callback cannot lose the events dispatched before it.
+        try:
+            if until is None:
+                while heap:
+                    time, _seq, event = pop(heap)
+                    if event.cancelled:
+                        continue
+                    self.now = time
+                    dispatched += 1
+                    event.callback(*event.args)
+                return
+            while heap:
+                entry = heap[0]
+                if entry[0] > until:
+                    if entry[2].cancelled:
+                        pop(heap)
+                        continue
+                    break
+                time, _seq, event = pop(heap)
+                if event.cancelled:
+                    continue
+                self.now = time
+                dispatched += 1
+                event.callback(*event.args)
+            self.now = until
+        finally:
+            self.events_processed += dispatched
+
+    def _run_profiled(self, until: Optional[float]) -> None:
+        """The observable-work variant of :meth:`run` (profiler enabled)."""
         if until is None:
             while self.step():
                 pass
             return
-        if until < self.now:
-            raise SimulationError("cannot run backwards")
         while self._heap:
-            event = self._heap[0]
+            time, _seq, event = self._heap[0]
             if event.cancelled:
                 heapq.heappop(self._heap)
                 continue
-            if event.time > until:
+            if time > until:
                 break
             self.step()
         self.now = until
 
     def peek(self) -> Optional[float]:
         """Time of the next non-cancelled event, or None if idle."""
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-        return self._heap[0].time if self._heap else None
+        heap = self._heap
+        while heap and heap[0][2].cancelled:
+            heapq.heappop(heap)
+        return heap[0][0] if heap else None

@@ -33,6 +33,7 @@ from typing import Dict, Optional, Union
 
 import numpy as np
 
+from repro.block.bio import reset_bio_ids
 from repro.block.device import Device, DeviceSpec
 from repro.block.layer import BlockLayer
 from repro.block.device_models import get_device_spec
@@ -117,6 +118,9 @@ class Testbed:
         max_retries: int = 3,
         **controller_kwargs,
     ):
+        # Fresh bio ids per machine: trace bytes must not depend on what
+        # else ran earlier in this process (see repro.block.bio).
+        reset_bio_ids()
         self.sim = Simulator()
         self._seed = seed
         self._workload_count = 0

@@ -16,34 +16,82 @@ PAGE = 4096
 
 
 class SectorPicker:
-    """Generates page-aligned sectors, random or sequential."""
+    """Generates page-aligned sectors, random or sequential.
 
-    def __init__(self, rng: np.random.Generator, sequential: bool, span_sectors: int = 1 << 31):
+    Random sectors may be drawn from the generator in chunks (``chunk`` >
+    1): numpy array draws consume the bit stream identically to repeated
+    scalar draws, so chunking changes per-call cost, never the sector
+    sequence.  Leave ``chunk`` at 1 when the generator is shared with other
+    consumers — pre-drawing would reorder the stream interleaving.
+    """
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        sequential: bool,
+        span_sectors: int = 1 << 31,
+        chunk: int = 1,
+    ):
+        if chunk < 1:
+            raise ValueError("chunk must be >= 1")
         self.rng = rng
         self.sequential = sequential
         self.span = span_sectors
+        self.chunk = chunk
         self._next = int(rng.integers(0, span_sectors // 2)) // 8 * 8
+        self._buf: List[int] = []
+        self._i = 0
 
     def next(self, nbytes: int) -> int:
         if self.sequential:
             sector = self._next
             self._next += (nbytes + 511) // 512
             return sector
-        return int(self.rng.integers(1, self.span // 8)) * 8
+        if self.chunk == 1:
+            return int(self.rng.integers(1, self.span // 8)) * 8
+        i = self._i
+        if i == len(self._buf):
+            self._buf = (self.rng.integers(1, self.span // 8, size=self.chunk) * 8).tolist()
+            i = 0
+        self._i = i + 1
+        return self._buf[i]
 
 
 class Workload:
-    """Base class: owns its cgroup, tracks completions and latencies."""
+    """Base class: owns its cgroup, tracks completions and latencies.
 
-    def __init__(self, sim: Simulator, layer: BlockLayer, cgroup: Cgroup, seed: int = 0):
+    ``fast_completions`` selects the block layer's callback completion fast
+    path (``submit(bio, on_done=...)``, docs/PERF.md) over the Signal
+    protocol.  Both paths complete bios at identical simulated times in
+    identical order; the flag exists so determinism tests can run the same
+    workload both ways and diff the traces.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        layer: BlockLayer,
+        cgroup: Cgroup,
+        seed: int = 0,
+        fast_completions: bool = True,
+    ):
         self.sim = sim
         self.layer = layer
         self.cgroup = cgroup
         self.rng = np.random.default_rng(seed)
+        self.fast_completions = fast_completions
         self.completed = 0
         self.bytes_done = 0
         self.latencies: List[float] = []
         self.running = False
+
+    def _submit(self, bio: Bio, on_done) -> None:
+        """Submit via the configured completion path (see class docstring)."""
+        if self.fast_completions:
+            self.layer.submit(bio, on_done=on_done)
+        else:
+            # submit() without on_done always returns the completion Signal.
+            self.layer.submit(bio).wait(on_done)
 
     def start(self) -> "Workload":
         self.running = True

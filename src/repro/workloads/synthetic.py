@@ -31,13 +31,16 @@ class ClosedLoopWorkload(Workload):
         sequential: bool = False,
         stop_at: float = None,
         seed: int = 0,
+        fast_completions: bool = True,
     ):
-        super().__init__(sim, layer, cgroup, seed)
+        super().__init__(sim, layer, cgroup, seed, fast_completions)
         self.op = op
         self.size = size
         self.depth = depth
         self.stop_at = stop_at
-        self.picker = SectorPicker(self.rng, sequential)
+        # The workload rng feeds only the picker, so chunked pre-draws are
+        # safe (and stream-equivalent — see SectorPicker).
+        self.picker = SectorPicker(self.rng, sequential, chunk=256)
 
     def start(self):
         super().start()
@@ -47,7 +50,7 @@ class ClosedLoopWorkload(Workload):
 
     def _issue(self):
         bio = Bio(self.op, self.size, self.picker.next(self.size), self.cgroup)
-        self.layer.submit(bio).wait(self._done)
+        self._submit(bio, self._done)
 
     def _done(self, bio):
         self._record(bio)
@@ -69,15 +72,16 @@ class PacedWorkload(Workload):
         sequential: bool = False,
         stop_at: float = None,
         seed: int = 0,
+        fast_completions: bool = True,
     ):
-        super().__init__(sim, layer, cgroup, seed)
+        super().__init__(sim, layer, cgroup, seed, fast_completions)
         if rate <= 0:
             raise ValueError("rate must be positive")
         self.interval = 1.0 / rate
         self.op = op
         self.size = size
         self.stop_at = stop_at
-        self.picker = SectorPicker(self.rng, sequential)
+        self.picker = SectorPicker(self.rng, sequential, chunk=256)
 
     def start(self):
         super().start()
@@ -88,7 +92,7 @@ class PacedWorkload(Workload):
         if not self.running or (self.stop_at is not None and self.sim.now >= self.stop_at):
             return
         bio = Bio(self.op, self.size, self.picker.next(self.size), self.cgroup)
-        self.layer.submit(bio).wait(self._record)
+        self._submit(bio, self._record)
         self.sim.schedule(self.interval, self._tick)
 
 
@@ -106,13 +110,14 @@ class ThinkTimeWorkload(Workload):
         sequential: bool = False,
         stop_at: float = None,
         seed: int = 0,
+        fast_completions: bool = True,
     ):
-        super().__init__(sim, layer, cgroup, seed)
+        super().__init__(sim, layer, cgroup, seed, fast_completions)
         self.think_time = think_time
         self.op = op
         self.size = size
         self.stop_at = stop_at
-        self.picker = SectorPicker(self.rng, sequential)
+        self.picker = SectorPicker(self.rng, sequential, chunk=256)
 
     def start(self):
         super().start()
@@ -121,7 +126,7 @@ class ThinkTimeWorkload(Workload):
 
     def _issue(self):
         bio = Bio(self.op, self.size, self.picker.next(self.size), self.cgroup)
-        self.layer.submit(bio).wait(self._done)
+        self._submit(bio, self._done)
 
     def _done(self, bio):
         self._record(bio)
@@ -157,14 +162,15 @@ class LatencyGovernedWorkload(Workload):
         size: int = 4096,
         stop_at: float = None,
         seed: int = 0,
+        fast_completions: bool = True,
     ):
-        super().__init__(sim, layer, cgroup, seed)
+        super().__init__(sim, layer, cgroup, seed, fast_completions)
         self.latency_target = latency_target
         self.max_depth = max_depth
         self.op = op
         self.size = size
         self.stop_at = stop_at
-        self.picker = SectorPicker(self.rng, sequential=False)
+        self.picker = SectorPicker(self.rng, sequential=False, chunk=256)
         self.depth = 4
         self._outstanding = 0
         self._since_adjust = 0
@@ -180,7 +186,7 @@ class LatencyGovernedWorkload(Workload):
                 return
             self._outstanding += 1
             bio = Bio(self.op, self.size, self.picker.next(self.size), self.cgroup)
-            self.layer.submit(bio).wait(self._done)
+            self._submit(bio, self._done)
 
     def _done(self, bio):
         self._outstanding -= 1

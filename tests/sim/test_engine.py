@@ -276,3 +276,56 @@ class TestProcess:
             ("a", 3.0),
             ("b", 4.5),
         ]
+
+
+def test_schedule_nan_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.schedule(float("nan"), lambda: None)
+
+
+def test_schedule_inf_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.schedule(float("inf"), lambda: None)
+
+
+class TestScheduleBulk:
+    def test_matches_sequential_schedule_order(self):
+        # Bulk entries get consecutive sequence numbers in iteration
+        # order, so ties against each other and against earlier
+        # singly-scheduled timers resolve exactly as schedule() would.
+        sim = Simulator()
+        seen = []
+        sim.schedule(1.0, seen.append, "single")
+        sim.schedule_bulk(
+            [
+                (1.0, seen.append, ("bulk-a",)),
+                (0.5, seen.append, ("bulk-b",)),
+                (1.0, seen.append, ("bulk-c",)),
+            ]
+        )
+        sim.run()
+        assert seen == ["bulk-b", "single", "bulk-a", "bulk-c"]
+
+    def test_returns_cancellable_events(self):
+        sim = Simulator()
+        seen = []
+        events = sim.schedule_bulk(
+            [(1.0, seen.append, ("x",)), (2.0, seen.append, ("y",))]
+        )
+        assert len(events) == 2
+        events[0].cancel()
+        sim.run()
+        assert seen == ["y"]
+
+    def test_rejects_nan_inf_and_negative_delays(self):
+        sim = Simulator()
+        for bad in (float("nan"), float("inf"), -1.0):
+            with pytest.raises(SimulationError):
+                sim.schedule_bulk([(bad, lambda: None, ())])
+
+    def test_empty_batch_is_noop(self):
+        sim = Simulator()
+        assert sim.schedule_bulk([]) == []
+        assert not sim.step()
