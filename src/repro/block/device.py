@@ -35,6 +35,7 @@ import numpy as np
 
 from repro.block.bio import Bio, BioStatus
 from repro.obs.trace import TRACE
+from repro.sanitize import SANITIZE
 from repro.sim import Event, Simulator
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -149,9 +150,10 @@ def noise_stream(rng: np.random.Generator, label: str) -> np.random.Generator:
         return np.random.default_rng(int(rng.integers(0, 2 ** 63)))
     key = int.from_bytes(hashlib.sha256(label.encode()).digest()[:8], "big")
     spawn_key = tuple(getattr(seed_seq, "spawn_key", ())) + (key,)
-    return np.random.default_rng(
-        np.random.SeedSequence(entropy=entropy, spawn_key=spawn_key)
-    )
+    child_seq = np.random.SeedSequence(entropy=entropy, spawn_key=spawn_key)
+    if SANITIZE.enabled:
+        SANITIZE.check_stream(label, child_seq)
+    return np.random.default_rng(child_seq)
 
 
 class Device:
@@ -223,6 +225,9 @@ class Device:
         self.errored_ios = 0
         self.aborted_ios = 0
         self.gc_slow_ios = 0
+        # Cached sanitizer: channel conservation checked at every
+        # begin/complete/abort transition (repro.sanitize).
+        self._san = SANITIZE
         # Cached tracepoints (single flag check when tracing is disabled).
         self._tp_complete = TRACE.points["bio_complete"]
         self._tp_fault_begin = TRACE.points["dev_fault_begin"]
@@ -360,6 +365,8 @@ class Device:
         bio.device_sequential = bio.sector == self._next_sector
         self._next_sector = bio.end_sector
         self._busy_channels += 1
+        if self._san.enabled:
+            self._san.check_channels(self._busy_channels, self._parallelism, self.devno)
         delay = 0.0
         if self.spec.iops_limit > 0:
             interval = 1.0 / self.spec.iops_limit
@@ -385,6 +392,8 @@ class Device:
     def _complete(self, bio: Bio) -> None:
         self._inservice.pop(bio.id, None)
         self._busy_channels -= 1
+        if self._san.enabled:
+            self._san.check_channels(self._busy_channels, self._parallelism, self.devno)
         if bio.status is BioStatus.OK:
             self.completed_ios += 1
             self.completed_bytes += bio.nbytes
@@ -447,6 +456,8 @@ class Device:
 
     def _free_channel(self) -> None:
         self._busy_channels -= 1
+        if self._san.enabled:
+            self._san.check_channels(self._busy_channels, self._parallelism, self.devno)
         nxt = self._pop_next()
         if nxt is not None:
             self._begin(nxt)

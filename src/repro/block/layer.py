@@ -31,6 +31,7 @@ from repro.block.device import Device
 from repro.cgroup import Cgroup
 from repro.obs.prof import PROF
 from repro.obs.trace import TRACE
+from repro.sanitize import SANITIZE
 from repro.sim import Event, Signal, Simulator
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -101,6 +102,9 @@ class BlockLayer:
         self._tp_requeue = TRACE.points["bio_requeue"]
         # Cached self-profiler (same zero-cost guard pattern, repro.obs.prof).
         self._prof = PROF
+        # Cached sanitizer: slot conservation checked at the acquire and
+        # release sites (repro.sanitize).
+        self._san = SANITIZE
 
         # Statistics.  ``completed_ios`` counts every *finished* bio (OK or
         # terminally failed); ``completed_bytes`` and the per-cgroup maps
@@ -190,6 +194,8 @@ class BlockLayer:
         if not self.can_dispatch():
             raise BlockLayerError("dispatch with no free request slots")
         self.inflight += 1
+        if self._san.enabled:
+            self._san.check_slots(self.inflight, self._nr_slots, self.dev)
         overhead = self.controller.issue_overhead
         if overhead > 0:
             start = max(self.sim.now, self._cpu_free_at)
@@ -246,6 +252,8 @@ class BlockLayer:
         requeues the bio (retryable failure) or completes it for good.
         """
         self.inflight -= 1
+        if self._san.enabled:
+            self._san.check_slots(self.inflight, self._nr_slots, self.dev)
         if bio.status is not BioStatus.OK and bio.retries < self.max_retries:
             self._requeue(bio)
             if self._retryq:

@@ -18,7 +18,7 @@ Swap/journal bios follow the §3.5 debt protocol, selectable via
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Dict, Optional
+from typing import TYPE_CHECKING, Deque, Dict, Optional
 
 from repro.analysis.stats import LatencyWindow
 from repro.block.bio import Bio, BioFlags
@@ -32,6 +32,10 @@ from repro.core.qos import QoSParams, VRateController
 from repro.core.vtime import VTimeClock
 from repro.obs.prof import PROF
 from repro.obs.trace import TRACE
+from repro.sanitize import SANITIZE
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.block.layer import BlockLayer
 
 #: Bios carrying these flags bypass budget under the debt protocol.
 URGENT_FLAGS = BioFlags.SWAP | BioFlags.JOURNAL
@@ -120,10 +124,13 @@ class IOCost(IOController):
         self._tp_period = TRACE.points["qos_period"]
         # Cached self-profiler (same zero-cost guard, repro.obs.prof).
         self._prof = PROF
+        # Cached sanitizer: cost-conservation ledger + vtime monotonicity
+        # (repro.sanitize), audited from the planning path.
+        self._san = SANITIZE
 
     # -- lifecycle ------------------------------------------------------------
 
-    def attach(self, layer) -> None:
+    def attach(self, layer: "BlockLayer") -> None:
         super().attach(layer)
         sim = layer.sim
         self.clock = VTimeClock(sim, self._initial_vrate)
@@ -182,6 +189,8 @@ class IOCost(IOController):
     def enqueue(self, bio: Bio) -> None:
         group = self.tree.state_of(bio.cgroup)
         bio.abs_cost = self.model.cost(bio)
+        if self._san.enabled:
+            self._san.note_incurred(id(self), bio.abs_cost)
         if not group.active:
             self._activate(group)
         group.period_ios += 1
@@ -216,6 +225,10 @@ class IOCost(IOController):
                 root = self.tree.root
                 if root is not None:
                     root.abs_usage += bio.abs_cost
+            # Either way the cost has left the queue-side ledger: DEBT
+            # charged the owner, ROOT deliberately wrote it off.
+            if self._san.enabled:
+                self._san.note_charged(id(self), bio.abs_cost)
             self.urgent_ios += 1
             self._urgent.append(bio)
             return
@@ -292,6 +305,8 @@ class IOCost(IOController):
             if budget + 1e-12 >= need:
                 group.local_vtime += relative
                 group.abs_usage += bio.abs_cost
+                if self._san.enabled:
+                    self._san.note_charged(id(self), bio.abs_cost)
                 waitq.popleft()
                 layer.dispatch(bio)
             else:
@@ -339,6 +354,8 @@ class IOCost(IOController):
         sim = self.layer.sim
         if self._prof.enabled:
             self._prof.plan_ticks += 1
+        if self._san.enabled:
+            self._audit()
         self._deactivate_idle()
         if self.donation_enabled:
             self._recompute_donations()
@@ -387,6 +404,19 @@ class IOCost(IOController):
         self._budget_blocked_events = 0
         self.pump()
         self._plan_timer = sim.schedule(self.qos.period, self._plan)
+
+    def _audit(self) -> None:
+        """Per-period sanitizer audit (only called while SANITIZE is on):
+        cost conservation across the whole tree, vtime monotonicity per
+        group.  Urgent bios were charged at enqueue, so only budget-waitq
+        bios count as pending."""
+        san = self._san
+        pending = 0.0
+        for state in self.tree.states():
+            for queued in state.waitq:
+                pending += queued.abs_cost
+            san.check_vtime(id(self), state.cgroup.path, state.local_vtime)
+        san.check_conservation(id(self), pending, self.layer.dev)
 
     def _deactivate_idle(self) -> None:
         for state in list(self.tree.states()):

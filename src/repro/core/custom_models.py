@@ -29,7 +29,7 @@ IOClass = Tuple[bool, bool]
 class CallableCostModel:
     """Wrap an arbitrary function as a cost model."""
 
-    def __init__(self, fn: Callable[[Bio], float]):
+    def __init__(self, fn: Callable[[Bio], float]) -> None:
         self._fn = fn
 
     def cost(self, bio: Bio) -> float:
@@ -48,7 +48,7 @@ class TableCostModel:
     (the last bucket's bytes-per-second rate).
     """
 
-    def __init__(self, tables: Dict[IOClass, Sequence[Tuple[int, float]]]):
+    def __init__(self, tables: Dict[IOClass, Sequence[Tuple[int, float]]]) -> None:
         if not tables:
             raise ValueError("need at least one IO-class table")
         self._tables: Dict[IOClass, List[Tuple[int, float]]] = {}
@@ -84,7 +84,7 @@ class TableCostModel:
 class PiecewiseLinearCostModel:
     """Linear interpolation between (bytes, cost) breakpoints per class."""
 
-    def __init__(self, segments: Dict[IOClass, Sequence[Tuple[int, float]]]):
+    def __init__(self, segments: Dict[IOClass, Sequence[Tuple[int, float]]]) -> None:
         if not segments:
             raise ValueError("need at least one IO-class segment list")
         self._segments: Dict[IOClass, List[Tuple[int, float]]] = {}

@@ -28,7 +28,7 @@ if TYPE_CHECKING:  # pragma: no cover
 class GroupState:
     """IOCost's per-cgroup state (the kernel's ``ioc_gq`` analogue)."""
 
-    def __init__(self, cgroup: Cgroup, parent: Optional["GroupState"]):
+    def __init__(self, cgroup: Cgroup, parent: Optional["GroupState"]) -> None:
         self.cgroup = cgroup
         self.parent = parent
         # Creation ordinal: the issue path visits backlogged groups in this

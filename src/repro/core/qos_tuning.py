@@ -23,13 +23,13 @@ range for a device:
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.block.device import Device, DeviceSpec
 from repro.block.layer import BlockLayer
-from repro.cgroup import make_meta_hierarchy
+from repro.cgroup import CgroupTree, make_meta_hierarchy
 from repro.core.controller import IOCost
 from repro.core.cost_model import LinearCostModel, ModelParams
 from repro.core.qos import QoSParams
@@ -67,7 +67,9 @@ def _pinned_iocost(params: ModelParams, vrate: float, period: float) -> IOCost:
     return IOCost(LinearCostModel(params), qos=qos, initial_vrate=vrate)
 
 
-def _make_machine(spec: DeviceSpec, params: ModelParams, vrate: float, seed: int):
+def _make_machine(
+    spec: DeviceSpec, params: ModelParams, vrate: float, seed: int
+) -> Tuple[Simulator, BlockLayer, IOCost, CgroupTree]:
     from repro.mm.memory import MemoryManager
 
     sim = Simulator()

@@ -157,7 +157,7 @@ class FaultPlan:
     :class:`FaultError` at the first draw if neither happened.
     """
 
-    def __init__(self, faults: Sequence[_Window], *, seed: Optional[int] = None):
+    def __init__(self, faults: Sequence[_Window], *, seed: Optional[int] = None) -> None:
         for fault in faults:
             if not isinstance(fault, _Window):
                 raise FaultError(f"not a fault window: {fault!r}")

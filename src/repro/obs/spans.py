@@ -48,6 +48,7 @@ from typing import Any, Deque, Dict, Iterable, List, Optional, Tuple
 
 from repro.obs.metrics import Histogram
 from repro.obs.trace import TRACE, Subscription, TraceEvent, TraceRegistry
+from repro.sanitize import SANITIZE
 
 #: Stage names (the per-controller stages are ``THROTTLE_PREFIX + ctl``).
 QUEUE_WAIT = "queue_wait"
@@ -214,6 +215,9 @@ class SpanTracker:
         #: attached mid-run); counted, not an error.
         self.orphan_events = 0
         self._subscription: Optional[Subscription] = None
+        # Cached sanitizer: evicting an open span silently loses a latency
+        # attribution, which is fail-stop under sanitize (repro.sanitize).
+        self._san = SANITIZE
 
     # -- subscription ------------------------------------------------------
 
@@ -273,7 +277,10 @@ class SpanTracker:
         if len(self._pending) >= self.max_pending:
             # Evict the oldest open span (dict preserves insertion order):
             # its completion never arrived — a hung bio or a torn-down rig.
-            del self._pending[next(iter(self._pending))]
+            victim = next(iter(self._pending))
+            if self._san.enabled:
+                self._san.span_evicted(victim[0], victim[1])
+            del self._pending[victim]
             self.evicted += 1
         self._pending[key] = _OpenSpan(
             dev=key[0],

@@ -33,6 +33,7 @@ import math
 from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
 
 from repro.obs.prof import PROF
+from repro.sanitize import SANITIZE
 
 
 class SimulationError(RuntimeError):
@@ -188,6 +189,9 @@ class Simulator:
         self.events_processed = 0
         # Cached self-profiler (same zero-cost guard pattern as tracepoints).
         self._prof = PROF
+        # Cached sanitizer (repro.sanitize): run() falls back to the
+        # step()-based loop while enabled, same as the profiler.
+        self._san = SANITIZE
 
     # -- scheduling -------------------------------------------------------
 
@@ -221,23 +225,32 @@ class Simulator:
         so batched completions or timer fan-outs cost one heap operation
         per batch.
         """
+        # simlint: dual-of=Simulator.schedule
         heap = self._heap
         now = self.now
         events: List[Event] = []
         seq = self._seq
         prof = self._prof
-        for delay, callback, args in entries:
-            if not delay >= 0.0 or delay == math.inf:
-                raise SimulationError(f"cannot schedule with delay {delay!r}")
-            event = Event(now + delay, callback, args)
-            seq += 1
-            heap.append((event.time, seq, event))
-            events.append(event)
-        self._seq = seq
-        if events:
-            heapq.heapify(heap)
-            if prof.enabled:
-                prof.heap_pushes += len(events)
+        # The restore runs in a finally: a bad delay mid-batch must not
+        # leave earlier entries appended un-heapified (and their sequence
+        # numbers unclaimed), or the next sift could compare two entries
+        # down to the non-comparable Event in slot 2.
+        try:
+            for delay, callback, args in entries:
+                if not delay >= 0.0 or delay == math.inf:
+                    raise SimulationError(f"cannot schedule with delay {delay!r}")
+                event = Event(now + delay, callback, args)
+                seq += 1
+                heap.append((event.time, seq, event))
+                events.append(event)
+        finally:
+            self._seq = seq
+            if events:
+                heapq.heapify(heap)
+                if prof.enabled:
+                    prof.heap_pushes += len(events)
+                if self._san.enabled:
+                    self._san.check_heap(heap, now)
         return events
 
     def signal(self) -> Signal:
@@ -255,6 +268,7 @@ class Simulator:
     def step(self) -> bool:
         """Run the next pending event.  Returns False if the heap is empty."""
         prof = self._prof
+        san = self._san
         heap = self._heap
         while heap:
             time, _seq, event = heapq.heappop(heap)
@@ -262,6 +276,8 @@ class Simulator:
                 prof.heap_pops += 1
             if event.cancelled:
                 continue
+            if san.enabled:
+                san.check_monotonic(self.now, time)
             self.now = time
             self.events_processed += 1
             if prof.enabled:
@@ -285,7 +301,7 @@ class Simulator:
         """
         if until is not None and until < self.now:
             raise SimulationError("cannot run backwards")
-        if self._prof.enabled:
+        if self._prof.enabled or self._san.enabled:
             self._run_profiled(until)
             return
         heap = self._heap
@@ -321,7 +337,9 @@ class Simulator:
             self.events_processed += dispatched
 
     def _run_profiled(self, until: Optional[float]) -> None:
-        """The observable-work variant of :meth:`run` (profiler enabled)."""
+        """The observable-work variant of :meth:`run` (profiler or
+        sanitizer enabled; per-event checks live in :meth:`step`)."""
+        # simlint: dual-of=Simulator.run
         if until is None:
             while self.step():
                 pass

@@ -51,6 +51,7 @@ from repro.core.cost_model import LinearCostModel, ModelParams
 from repro.core.qos import QoSParams
 from repro.faults import FaultPlan
 from repro.mm.memory import MemoryManager
+from repro.sanitize import SANITIZE
 from repro.sim import Simulator
 from repro.workloads.synthetic import (
     ClosedLoopWorkload,
@@ -213,9 +214,10 @@ class Testbed:
         exists (determinism across topology changes).
         """
         key = int.from_bytes(hashlib.sha256(label.encode()).digest()[:8], "big")
-        return np.random.default_rng(
-            np.random.SeedSequence(entropy=self._seed, spawn_key=(key,))
-        )
+        seq = np.random.SeedSequence(entropy=self._seed, spawn_key=(key,))
+        if SANITIZE.enabled:
+            SANITIZE.check_stream(label, seq)
+        return np.random.default_rng(seq)
 
     def _next_seed(self) -> np.random.SeedSequence:
         """Seed material for the next attached workload (stable per ordinal)."""

@@ -25,6 +25,8 @@ from repro.tools.simlint.core import (
 )
 from repro.tools.simlint import rules as _rules  # noqa: F401  (registers rules)
 from repro.tools.simlint import trace_rules as _trace_rules  # noqa: F401
+from repro.tools.simlint import flow_rules as _flow_rules  # noqa: F401
+from repro.tools.simlint import dual_rules as _dual_rules  # noqa: F401
 from repro.tools.simlint.cli import main
 from repro.tools.simlint.trace_rules import load_catalogue
 

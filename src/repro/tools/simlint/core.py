@@ -22,10 +22,12 @@ from __future__ import annotations
 
 import ast
 import fnmatch
+import io
 import re
+import tokenize
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Callable, Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Set, Tuple
 
 
 @dataclass(frozen=True, order=True)
@@ -66,6 +68,17 @@ class LintConfig:
     wallclock_allow: Sequence[str] = (
         "*/repro/tools/*",
         "*/repro/obs/overhead.py",
+    )
+    #: fnmatch patterns exempt from ``no-bare-assert``.  pytest rewrites
+    #: asserts in test modules (they survive ``-O`` there by construction),
+    #: so flagging every test assertion would be 1500 pragmas of noise.
+    assert_allow: Sequence[str] = (
+        "tests/*",
+        "*/tests/*",
+        "benchmarks/*",
+        "*/benchmarks/*",
+        "conftest.py",
+        "*/conftest.py",
     )
     #: Tracepoint catalogue for the trace-catalogue rule: name -> fields.
     #: ``None`` means "load from repro.obs.trace at first use".
@@ -125,14 +138,39 @@ def rule(name: str, description: str) -> Callable[[RuleFn], RuleFn]:
 # -- pragma suppression ------------------------------------------------------
 
 # The pragma may sit anywhere inside a comment, so a one-line justification
-# can precede it: ``# narrowing only - simlint: disable=no-bare-assert``.
+# can precede it: ``# narrowing only - simlint: disable=<rule>``.
 _PRAGMA_RE = re.compile(r"#.*\bsimlint:\s*disable=([A-Za-z0-9_,\- ]+)")
 
 
-def _pragmas(lines: Sequence[str]) -> Dict[int, frozenset]:
+def iter_comments(source: str) -> Iterator[Tuple[int, str]]:
+    """Yield ``(1-based lineno, text)`` for every genuine comment token.
+
+    Token-based, not a regex over raw lines: a pragma or marker spelled
+    inside a triple-quoted string (docs, test fixtures) is *not* a comment
+    and must not count.  Sources that fail to tokenize fall back to a raw
+    line scan — by the time the drivers call this the file has already
+    parsed, so the fallback only serves callers feeding deliberately broken
+    fixtures.
+    """
+    try:
+        comments = [
+            (token.start[0], token.string)
+            for token in tokenize.generate_tokens(io.StringIO(source).readline)
+            if token.type == tokenize.COMMENT
+        ]
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        comments = [
+            (lineno, text)
+            for lineno, text in enumerate(source.splitlines(), start=1)
+            if "#" in text
+        ]
+    yield from comments
+
+
+def _pragmas(source: str) -> Dict[int, frozenset]:
     """Map 1-based line number -> rule names disabled on that line."""
     disabled: Dict[int, frozenset] = {}
-    for lineno, text in enumerate(lines, start=1):
+    for lineno, text in iter_comments(source):
         match = _PRAGMA_RE.search(text)
         if match is None:
             continue
@@ -143,12 +181,91 @@ def _pragmas(lines: Sequence[str]) -> Dict[int, frozenset]:
     return disabled
 
 
+class _PragmaLedger:
+    """Pragma map plus bookkeeping of which suppressions actually fired."""
+
+    def __init__(self, source: str):
+        self.pragmas = _pragmas(source)
+        #: ``(pragma line, rule name)`` pairs that suppressed a finding.
+        self.used: Set[Tuple[int, str]] = set()
+
+    def suppresses(self, finding: Finding) -> bool:
+        for lineno in (finding.line, finding.line - 1):
+            names = self.pragmas.get(lineno)
+            if names is None:
+                continue
+            if finding.rule in names:
+                self.used.add((lineno, finding.rule))
+                return True
+            if "all" in names:
+                self.used.add((lineno, "all"))
+                return True
+        return False
+
+    def unused(
+        self, ctx: "FileContext", enabled_rules: Sequence[str]
+    ) -> Iterator[Finding]:
+        """Findings for pragma names that could have fired but never did.
+
+        A name for a rule that is not enabled this run is skipped (it could
+        not have suppressed anything); a name that is no registered rule at
+        all is flagged — it is a typo that silently suppresses nothing.
+        """
+        enabled = set(enabled_rules)
+        for lineno in sorted(self.pragmas):
+            for name in sorted(self.pragmas[lineno]):
+                if name == "all":
+                    if (lineno, "all") not in self.used:
+                        yield Finding(
+                            path=ctx.path,
+                            line=lineno,
+                            col=0,
+                            rule="unused-pragma",
+                            message="'simlint: disable=all' suppresses nothing",
+                        )
+                elif name not in RULES:
+                    yield Finding(
+                        path=ctx.path,
+                        line=lineno,
+                        col=0,
+                        rule="unused-pragma",
+                        message=(
+                            f"pragma names unknown rule {name!r} "
+                            "(typo? it suppresses nothing)"
+                        ),
+                    )
+                elif name in enabled and (lineno, name) not in self.used:
+                    yield Finding(
+                        path=ctx.path,
+                        line=lineno,
+                        col=0,
+                        rule="unused-pragma",
+                        message=(
+                            f"'simlint: disable={name}' suppresses nothing "
+                            "on this line or the line below"
+                        ),
+                    )
+
+
 def _suppressed(finding: Finding, pragmas: Mapping[int, frozenset]) -> bool:
+    """Legacy predicate (kept for tests); :class:`_PragmaLedger` supersedes it."""
     for lineno in (finding.line, finding.line - 1):
         names = pragmas.get(lineno)
         if names is not None and (finding.rule in names or "all" in names):
             return True
     return False
+
+
+@rule(
+    "unused-pragma",
+    "a '# simlint: disable=' pragma must actually suppress something",
+)
+def _check_unused_pragma(tree: ast.Module, ctx: "FileContext") -> Iterable[Finding]:
+    # Driver-implemented (see lint_source): detecting a *useless* pragma
+    # requires the suppression ledger of every other rule's findings, which
+    # a per-rule check cannot see.  Registered here so --list-rules/--select
+    # know the name.
+    return ()
 
 
 # -- baseline files ----------------------------------------------------------
@@ -215,15 +332,29 @@ def lint_source(
     except SyntaxError as exc:
         raise LintError(f"{path}: cannot parse: {exc}") from exc
     ctx = FileContext(path, source, config)
-    pragmas = _pragmas(ctx.lines)
+    ledger = _PragmaLedger(source)
+    enabled = config.rule_names()
     findings: List[Finding] = []
-    for name in config.rule_names():
+    for name in enabled:
         try:
             checker = RULES[name]
         except KeyError:
             raise LintError(f"unknown simlint rule {name!r}") from None
         for finding in checker.check(tree, ctx):
-            if not _suppressed(finding, pragmas):
+            if not ledger.suppresses(finding):
+                findings.append(finding)
+    # unused-pragma is driver-implemented: it needs the full suppression
+    # ledger, which only exists after every other rule has run.  These
+    # meta-findings land on the pragma's own line, so a dead ``disable=all``
+    # would silently self-suppress via its own "all" — only an *explicit*
+    # ``disable=unused-pragma`` opts a line out.
+    if "unused-pragma" in enabled:
+        for finding in ledger.unused(ctx, enabled):
+            explicit = any(
+                "unused-pragma" in ledger.pragmas.get(lineno, frozenset())
+                for lineno in (finding.line, finding.line - 1)
+            )
+            if not explicit:
                 findings.append(finding)
     findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
     return findings

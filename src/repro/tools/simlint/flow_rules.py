@@ -1,0 +1,338 @@
+"""Interprocedural v2 rules: unit propagation and RNG stream labels.
+
+* ``unit-flow`` — the PR-2 ``wait_usec`` incident (a ``_usec`` counter
+  accumulated in seconds) was fixed by the per-expression ``unit-suffix``
+  rule, but only when the mixing happens *inside one expression*.  This
+  rule propagates unit tags (``_usec``/``_sec``/``_msec`` time units and
+  ``_cost`` device-seconds) across the module call graph: through call
+  arguments into parameter names, through return values into assignment
+  targets, and through attribute stores — so ``self.total_usec =
+  self._window_sec()`` is caught even when the two suffixes sit two calls
+  apart.
+* ``rng-stream-labels`` — every ``rng_for(...)``/``noise_stream(...)``
+  label must be a literal-derivable string (a string constant, or an
+  f-string with a distinguishing literal prefix) and unique within its
+  enclosing scope.  Two consumers that pass the same label silently share
+  one bit stream — each sees every *other* draw of a single sequence, the
+  statistical equivalent of seeding both with the same seed — and a label
+  built from an arbitrary expression cannot be audited for that statically.
+
+Both rules only ever act on what resolves *within the module*
+(:class:`~repro.tools.simlint.symbols.ModuleIndex`); anything else is
+opaque and never guessed at.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.tools.simlint.core import FileContext, Finding, rule
+from repro.tools.simlint.rules import _finding, _time_unit
+from repro.tools.simlint.symbols import FunctionInfo, ModuleIndex
+
+# -- unit tags ---------------------------------------------------------------
+
+#: Cost-carrying name suffixes (IOCost absolute cost, in device seconds —
+#: deliberately a distinct tag: adding a cost to a wall-clock duration is
+#: a category error even though both are float seconds).
+_COST_SUFFIXES = ("_cost", "_abs_cost")
+
+
+def _name_tag(name: str) -> Optional[str]:
+    """Unit tag carried by a name, or None for untagged names."""
+    unit = _time_unit(name)
+    if unit is not None:
+        return unit
+    for suffix in _COST_SUFFIXES:
+        if name.endswith(suffix) or name == suffix[1:]:
+            return "cost"
+    return None
+
+
+class _UnitEnv:
+    """Expression → unit tag evaluation for one module.
+
+    ``return_tags`` maps qualname → tag for functions whose return value
+    provably carries one unit (computed to fixpoint so a chain of
+    ``return self._inner()`` hops propagates).
+    """
+
+    def __init__(self, index: ModuleIndex) -> None:
+        self.index = index
+        self.return_tags: Dict[str, Optional[str]] = {}
+        self._compute_return_tags()
+
+    def _compute_return_tags(self) -> None:
+        # Seed: a function *named* with a unit suffix declares its return
+        # unit; everything else starts unknown.
+        for qualname, info in self.index.functions.items():
+            name = qualname.rsplit(".", 1)[-1]
+            self.return_tags[qualname] = _name_tag(name)
+        # Fixpoint over return-statement expressions (bounded: tags only
+        # ever go from None to a value, so |functions| passes suffice).
+        for _ in range(len(self.index.functions) or 1):
+            changed = False
+            for qualname, info in self.index.functions.items():
+                if self.return_tags[qualname] is not None:
+                    continue
+                tags: Set[str] = set()
+                bare_return = False
+                for node in info.own_nodes():
+                    if isinstance(node, ast.Return):
+                        if node.value is None:
+                            bare_return = True
+                            continue
+                        tag = self.expr_tag(node.value, info)
+                        if tag is None:
+                            bare_return = True  # untagged path: stay unknown
+                        else:
+                            tags.add(tag)
+                if len(tags) == 1 and not bare_return:
+                    self.return_tags[qualname] = tags.pop()
+                    changed = True
+            if not changed:
+                break
+
+    def expr_tag(
+        self, node: ast.expr, enclosing: Optional[FunctionInfo]
+    ) -> Optional[str]:
+        """Unit tag of an expression, or None when untagged/unknowable.
+
+        Multiplication and division drop the tag (they are how legitimate
+        unit conversions are written: ``x_sec * 1e6``); addition and
+        subtraction preserve a tag only when both sides agree.
+        """
+        if isinstance(node, ast.Name):
+            return _name_tag(node.id)
+        if isinstance(node, ast.Attribute):
+            return _name_tag(node.attr)
+        if isinstance(node, ast.Call):
+            callee = self.index.resolve_call(node, enclosing)
+            if callee is not None:
+                return self.return_tags.get(callee)
+            return None
+        if isinstance(node, ast.BinOp) and isinstance(node.op, (ast.Add, ast.Sub)):
+            left = self.expr_tag(node.left, enclosing)
+            right = self.expr_tag(node.right, enclosing)
+            if left is not None and right is not None:
+                return left if left == right else None
+            return left if right is None else right
+        if isinstance(node, ast.UnaryOp):
+            return self.expr_tag(node.operand, enclosing)
+        if isinstance(node, ast.IfExp):
+            body = self.expr_tag(node.body, enclosing)
+            orelse = self.expr_tag(node.orelse, enclosing)
+            return body if body == orelse else None
+        return None
+
+
+def _mismatch(left: Optional[str], right: Optional[str]) -> bool:
+    return left is not None and right is not None and left != right
+
+
+@rule(
+    "unit-flow",
+    "unit tags (_usec/_sec/_cost) must survive call, return, and "
+    "assignment boundaries (interprocedural)",
+)
+def check_unit_flow(tree: ast.Module, ctx: FileContext) -> Iterable[Finding]:
+    index = ModuleIndex(tree)
+    env = _UnitEnv(index)
+
+    def body_findings(
+        info: Optional[FunctionInfo], nodes: Iterable[ast.AST]
+    ) -> Iterable[Finding]:
+        for node in nodes:
+            # 1. Assignment flow: ``x_usec = <sec-tagged expr>`` — covers
+            # plain names, attribute stores, and annotated assigns.
+            if isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+                value = node.value
+                if value is None:
+                    continue
+                value_tag = env.expr_tag(value, info)
+                if value_tag is None:
+                    continue
+                targets = (
+                    node.targets if isinstance(node, ast.Assign) else [node.target]
+                )
+                for target in targets:
+                    if isinstance(target, ast.Name):
+                        target_tag = _name_tag(target.id)
+                        label = target.id
+                    elif isinstance(target, ast.Attribute):
+                        target_tag = _name_tag(target.attr)
+                        label = target.attr
+                    else:
+                        continue
+                    if _mismatch(target_tag, value_tag):
+                        yield _finding(
+                            ctx,
+                            node,
+                            "unit-flow",
+                            f"{label!r} is tagged {target_tag} but is assigned "
+                            f"a {value_tag}-tagged value (convert before "
+                            "storing)",
+                        )
+            # 2. Call-argument flow: a tagged argument into a parameter
+            # whose name declares a different unit.
+            elif isinstance(node, ast.Call):
+                callee_name = index.resolve_call(node, info)
+                if callee_name is None:
+                    continue
+                callee = index.functions[callee_name]
+                for param, arg in index.pair_arguments(node, callee):
+                    param_tag = _name_tag(param)
+                    arg_tag = env.expr_tag(arg, info)
+                    if _mismatch(param_tag, arg_tag):
+                        yield _finding(
+                            ctx,
+                            arg,
+                            "unit-flow",
+                            f"argument to {callee_name}() parameter "
+                            f"{param!r} ({param_tag}) carries unit "
+                            f"{arg_tag}",
+                        )
+            # 3. Return flow: the function's name declares a unit the
+            # returned expression contradicts.
+            elif isinstance(node, ast.Return) and info is not None:
+                declared = _name_tag(info.qualname.rsplit(".", 1)[-1])
+                if declared is None or node.value is None:
+                    continue
+                value_tag = env.expr_tag(node.value, info)
+                if _mismatch(declared, value_tag):
+                    yield _finding(
+                        ctx,
+                        node,
+                        "unit-flow",
+                        f"{info.qualname}() is tagged {declared} but returns "
+                        f"a {value_tag}-tagged value",
+                    )
+
+    for info in index.functions.values():
+        yield from body_findings(info, info.own_nodes())
+    # Module top level (constants wired from other tagged constants).
+    top_level: List[ast.AST] = []
+    for stmt in tree.body:
+        if not isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            top_level.extend(ast.walk(stmt))
+    yield from body_findings(None, top_level)
+
+
+# -- rng-stream-labels -------------------------------------------------------
+
+#: Callables whose argument is a stream label: name → index of the label
+#: argument (``noise_stream(rng, label)`` has it second).
+_LABELED_STREAM_FNS: Dict[str, int] = {"rng_for": 0, "noise_stream": 1}
+
+
+def _label_expr(call: ast.Call, position: int) -> Optional[ast.expr]:
+    for keyword in call.keywords:
+        if keyword.arg == "label":
+            return keyword.value
+    if len(call.args) > position and not any(
+        isinstance(arg, ast.Starred) for arg in call.args[: position + 1]
+    ):
+        return call.args[position]
+    return None
+
+
+def _label_skeleton(node: ast.expr) -> Optional[str]:
+    """Literal skeleton of a label expression, or None if not derivable.
+
+    A constant string is its own skeleton.  An f-string is derivable when
+    it *leads* with a non-empty literal (the namespace prefix that keeps
+    two call sites' streams apart); its placeholders render as ``{}`` so
+    ``f"device:{a}"`` and ``f"device:{b}"`` share a skeleton — same
+    template, same collision risk class.
+    """
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    if isinstance(node, ast.JoinedStr) and node.values:
+        head = node.values[0]
+        if not (
+            isinstance(head, ast.Constant)
+            and isinstance(head.value, str)
+            and head.value
+        ):
+            return None
+        parts: List[str] = []
+        for value in node.values:
+            if isinstance(value, ast.Constant) and isinstance(value.value, str):
+                parts.append(value.value)
+            elif isinstance(value, ast.FormattedValue):
+                parts.append("{}")
+            else:
+                return None
+        return "".join(parts)
+    return None
+
+
+@rule(
+    "rng-stream-labels",
+    "rng_for()/noise_stream() labels must be literal-derivable strings, "
+    "unique per scope (aliased labels share one bit stream)",
+)
+def check_rng_stream_labels(tree: ast.Module, ctx: FileContext) -> Iterable[Finding]:
+    index = ModuleIndex(tree)
+    # Scope → (callee, skeleton) → first-use line, for duplicate detection.
+    seen: Dict[Tuple[str, str, str], int] = {}
+
+    def scope_calls() -> Iterable[Tuple[str, ast.Call]]:
+        for info in index.functions.values():
+            for node in info.own_nodes():
+                if isinstance(node, ast.Call):
+                    yield info.qualname, node
+        for stmt in tree.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                continue
+            for node in ast.walk(stmt):
+                if isinstance(node, ast.Call):
+                    yield "<module>", node
+
+    for scope, call in scope_calls():
+        func = call.func
+        name = (
+            func.attr
+            if isinstance(func, ast.Attribute)
+            else func.id
+            if isinstance(func, ast.Name)
+            else None
+        )
+        if name not in _LABELED_STREAM_FNS:
+            continue
+        label = _label_expr(call, _LABELED_STREAM_FNS[name])
+        if label is None:
+            continue  # splat or missing: nothing to reason about
+        skeleton = _label_skeleton(label)
+        if skeleton is None:
+            yield _finding(
+                ctx,
+                label,
+                "rng-stream-labels",
+                f"{name}() label is not literal-derivable; use a string "
+                "constant or an f-string with a literal prefix so stream "
+                "identity is auditable",
+            )
+            continue
+        if skeleton == "" or skeleton == "{}":
+            yield _finding(
+                ctx,
+                label,
+                "rng-stream-labels",
+                f"{name}() label has no distinguishing literal content",
+            )
+            continue
+        key = (scope, name, skeleton)
+        first = seen.get(key)
+        if first is not None:
+            yield _finding(
+                ctx,
+                label,
+                "rng-stream-labels",
+                f"{name}() label {skeleton!r} duplicates the label on line "
+                f"{first} in the same scope; two consumers would share one "
+                "bit stream",
+            )
+        else:
+            seen[key] = label.lineno

@@ -1,0 +1,187 @@
+"""Module-level symbol table and call graph for interprocedural rules.
+
+simlint's original rules are per-expression: each looks at one AST node and
+decides.  The v2 rules (``unit-flow``, ``dual-path-parity``) need to reason
+*across* function boundaries — "this argument flows into that parameter",
+"this fast path transitively emits the same tracepoints as its slow twin".
+This module supplies the shared machinery, deliberately lightweight:
+
+* :class:`FunctionInfo` — one top-level function or class method with its
+  parameters and body (nested ``def``/``lambda`` bodies are excluded from a
+  function's own statements: they run when *called*, not when defined).
+* :class:`ModuleIndex` — the symbol table for one module: every function
+  keyed by qualname (``Class.method`` / ``func``), plus call resolution
+  (``self.m()`` → the enclosing class's ``m``, ``name()`` → the module
+  function, ``Class.m()`` → that class's method) and a memoised transitive
+  closure over the resulting call graph.
+
+The index is **module-local** by design.  Calls into other modules resolve
+to ``None`` and analyses must treat them as opaque — the right bias for a
+linter: never guess, only reason about what is provably in front of it.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+
+@dataclass
+class FunctionInfo:
+    """One indexed function: identity, shape, and its own (non-nested) body."""
+
+    qualname: str
+    node: ast.AST  # FunctionDef | AsyncFunctionDef
+    class_name: Optional[str]
+    #: Positional parameter names in order (``self``/``cls`` included for
+    #: methods; call resolution accounts for the receiver).
+    params: List[str] = field(default_factory=list)
+    #: Keyword-only parameter names.
+    kwonly: List[str] = field(default_factory=list)
+
+    @property
+    def is_method(self) -> bool:
+        return self.class_name is not None
+
+    def own_nodes(self) -> Iterator[ast.AST]:
+        """Walk the function body, excluding nested function/lambda bodies.
+
+        The def/lambda *node* itself is yielded (so default-argument
+        expressions stay visible) but its body is not descended into.
+        """
+        stack: List[ast.AST] = list(getattr(self.node, "body", []))
+        while stack:
+            node = stack.pop()
+            yield node
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                continue  # nested body executes on call, not here
+            stack.extend(ast.iter_child_nodes(node))
+
+
+def _positional_params(node: ast.AST) -> List[str]:
+    args = node.args  # type: ignore[attr-defined]
+    return [a.arg for a in list(args.posonlyargs) + list(args.args)]
+
+
+class ModuleIndex:
+    """Symbol table + call graph for one parsed module."""
+
+    def __init__(self, tree: ast.Module) -> None:
+        self.tree = tree
+        self.functions: Dict[str, FunctionInfo] = {}
+        self.classes: Dict[str, List[str]] = {}
+        self._calls_memo: Dict[str, List[Tuple[ast.Call, Optional[str]]]] = {}
+        self._reach_memo: Dict[str, Set[str]] = {}
+        for node in tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._add(node, None)
+            elif isinstance(node, ast.ClassDef):
+                self.classes[node.name] = []
+                for item in node.body:
+                    if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        self._add(item, node.name)
+                        self.classes[node.name].append(item.name)
+
+    def _add(self, node: ast.AST, class_name: Optional[str]) -> None:
+        name = node.name  # type: ignore[attr-defined]
+        qualname = f"{class_name}.{name}" if class_name else name
+        info = FunctionInfo(
+            qualname=qualname,
+            node=node,
+            class_name=class_name,
+            params=_positional_params(node),
+            kwonly=[a.arg for a in node.args.kwonlyargs],  # type: ignore[attr-defined]
+        )
+        # First definition wins on duplicates (e.g. version-gated redefs);
+        # a linter must stay deterministic, not clever.
+        self.functions.setdefault(qualname, info)
+
+    # -- call resolution ----------------------------------------------------
+
+    def resolve_call(
+        self, call: ast.Call, enclosing: Optional[FunctionInfo]
+    ) -> Optional[str]:
+        """Qualname of the module-local callee, or None when unresolvable."""
+        func = call.func
+        if isinstance(func, ast.Name):
+            if func.id in self.functions:
+                return func.id
+            return None
+        if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+            base, attr = func.value.id, func.attr
+            if base in ("self", "cls") and enclosing is not None and enclosing.class_name:
+                qualname = f"{enclosing.class_name}.{attr}"
+                if qualname in self.functions:
+                    return qualname
+                return None
+            if base in self.classes:
+                qualname = f"{base}.{attr}"
+                if qualname in self.functions:
+                    return qualname
+        return None
+
+    def call_sites(self, qualname: str) -> List[Tuple[ast.Call, Optional[str]]]:
+        """Every call in ``qualname``'s own body with its resolved callee."""
+        cached = self._calls_memo.get(qualname)
+        if cached is not None:
+            return cached
+        info = self.functions[qualname]
+        sites: List[Tuple[ast.Call, Optional[str]]] = []
+        for node in info.own_nodes():
+            if isinstance(node, ast.Call):
+                sites.append((node, self.resolve_call(node, info)))
+        self._calls_memo[qualname] = sites
+        return sites
+
+    def reach(self, qualname: str) -> Set[str]:
+        """Transitive closure of module-local callees, including ``qualname``.
+
+        Cycle-safe: recursion is cut at members of the current walk; the
+        memo only caches completed closures.
+        """
+        cached = self._reach_memo.get(qualname)
+        if cached is not None:
+            return cached
+        closure: Set[str] = set()
+        stack = [qualname]
+        while stack:
+            current = stack.pop()
+            if current in closure or current not in self.functions:
+                continue
+            closure.add(current)
+            for _call, callee in self.call_sites(current):
+                if callee is not None and callee not in closure:
+                    stack.append(callee)
+        self._reach_memo[qualname] = closure
+        return closure
+
+    # -- receiver-aware argument pairing -------------------------------------
+
+    def pair_arguments(
+        self, call: ast.Call, callee: FunctionInfo
+    ) -> List[Tuple[str, ast.expr]]:
+        """Match call arguments to the callee's parameter names.
+
+        Returns ``(param_name, argument_expression)`` pairs for positional
+        and keyword arguments.  For method calls through a receiver
+        (``self.m(x)`` / ``obj.m(x)``) the leading ``self`` parameter is
+        skipped; ``*args``/``**kwargs`` splats end positional pairing (the
+        linter never guesses how a splat lines up).
+        """
+        params = list(callee.params)
+        if callee.is_method and isinstance(call.func, ast.Attribute):
+            params = params[1:]  # receiver provides self/cls
+        pairs: List[Tuple[str, ast.expr]] = []
+        for index, arg in enumerate(call.args):
+            if isinstance(arg, ast.Starred) or index >= len(params):
+                break
+            pairs.append((params[index], arg))
+        named = set(params) | set(callee.kwonly)
+        for keyword in call.keywords:
+            if keyword.arg is not None and keyword.arg in named:
+                pairs.append((keyword.arg, keyword.value))
+        return pairs
+
+
+__all__ = ["FunctionInfo", "ModuleIndex"]

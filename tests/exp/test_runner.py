@@ -191,7 +191,7 @@ def test_parallel_speedup_vs_serial(tmp_path):
     """A 2x2x2 sweep with --workers 4 is >= 2x faster than --workers 1."""
     import time
 
-    clock = time.perf_counter
+    clock = time.perf_counter  # wall-clock speedup under test - simlint: disable=no-wallclock
     serial_store = ArtifactStore(tmp_path / "serial")
     parallel_store = ArtifactStore(tmp_path / "parallel")
     start = clock()

@@ -22,7 +22,7 @@ class TestValidation:
     def test_nonpositive_timeout_rejected(self, tmp_path):
         spec = ExperimentSpec(name="s", kind=QUICK)
         with pytest.raises(RunnerError, match="timeout_sec"):
-            run_sweep(spec, tmp_path, clock=time.perf_counter, timeout_sec=0.0)
+            run_sweep(spec, tmp_path, clock=time.perf_counter, timeout_sec=0.0)  # simlint: disable=no-wallclock
 
     def test_timeout_requires_real_clock(self, tmp_path):
         spec = ExperimentSpec(name="s", kind=QUICK)
@@ -35,7 +35,7 @@ class TestTimeoutPath:
         spec = ExperimentSpec(name="s", kind=HANG)
         store = ArtifactStore(tmp_path)
         report = run_sweep(
-            spec, store, workers=1, clock=time.perf_counter, timeout_sec=0.5
+            spec, store, workers=1, clock=time.perf_counter, timeout_sec=0.5  # simlint: disable=no-wallclock
         )
         (outcome,) = report.outcomes
         assert outcome.status == "timeout" and not outcome.ok
@@ -47,7 +47,7 @@ class TestTimeoutPath:
     def test_timeout_lands_in_meta_json(self, tmp_path):
         spec = ExperimentSpec(name="s", kind=HANG)
         store = ArtifactStore(tmp_path)
-        run_sweep(spec, store, workers=1, clock=time.perf_counter, timeout_sec=0.5)
+        run_sweep(spec, store, workers=1, clock=time.perf_counter, timeout_sec=0.5)  # simlint: disable=no-wallclock
         (run,) = expand(spec)
         meta = store.try_read_json(run.run_hash, META_FILE)
         assert meta["status"] == "timeout"
@@ -56,7 +56,7 @@ class TestTimeoutPath:
     def test_cache_reports_timed_out_previously(self, tmp_path):
         spec = ExperimentSpec(name="s", kind=HANG)
         store = ArtifactStore(tmp_path)
-        run_sweep(spec, store, workers=1, clock=time.perf_counter, timeout_sec=0.5)
+        run_sweep(spec, store, workers=1, clock=time.perf_counter, timeout_sec=0.5)  # simlint: disable=no-wallclock
         cache = ResultCache(store)
         (run,) = expand(spec)
         decision = cache.lookup(run)
@@ -69,7 +69,7 @@ class TestTimeoutPath:
             spec,
             ArtifactStore(tmp_path / "b"),
             workers=2,
-            clock=time.perf_counter,
+            clock=time.perf_counter,  # simlint: disable=no-wallclock
             timeout_sec=30.0,
         )
         assert [o.status for o in timed.outcomes] == ["ok", "ok", "ok"]
@@ -88,9 +88,9 @@ class TestTimeoutPath:
         hang_spec = ExperimentSpec(name="h", kind=HANG)
         store = ArtifactStore(tmp_path)
         ok = run_sweep(
-            spec, store, workers=2, clock=time.perf_counter, timeout_sec=5.0
+            spec, store, workers=2, clock=time.perf_counter, timeout_sec=5.0  # simlint: disable=no-wallclock
         )
         bad = run_sweep(
-            hang_spec, store, workers=2, clock=time.perf_counter, timeout_sec=0.5
+            hang_spec, store, workers=2, clock=time.perf_counter, timeout_sec=0.5  # simlint: disable=no-wallclock
         )
         assert ok.failures == 0 and bad.timeouts == 1

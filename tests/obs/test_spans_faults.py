@@ -11,6 +11,7 @@ from repro.obs.spans import (
     SpanTracker,
 )
 from repro.obs.trace import TraceRegistry
+from repro.sanitize import SANITIZE
 
 USEC = 1e-6
 
@@ -112,7 +113,10 @@ class TestPendingBound:
         tracker = SpanTracker(max_pending=2).attach(registry)
         submit(registry, 1, 0.0)
         submit(registry, 2, 10 * USEC)
-        submit(registry, 3, 20 * USEC)  # evicts bio 1
+        # A deliberate eviction: under sanitize this is fail-stop, so the
+        # counting behaviour is pinned with the checker suspended.
+        with SANITIZE.suspended():
+            submit(registry, 3, 20 * USEC)  # evicts bio 1
         assert tracker.evicted == 1
         assert tracker.open_count == 2
         # Bio 1's completion is now an orphan, not a span.
@@ -128,7 +132,8 @@ class TestPendingBound:
         registry = make_registry()
         tracker = SpanTracker(max_pending=1).attach(registry)
         submit(registry, 1, 0.0)
-        submit(registry, 2, 10 * USEC)  # evicts bio 1
+        with SANITIZE.suspended():
+            submit(registry, 2, 10 * USEC)  # evicts bio 1
         text = tracker.describe()
         assert "evicted=1" in text
         issue(registry, 2, 20 * USEC)

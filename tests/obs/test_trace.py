@@ -57,7 +57,7 @@ class TestRegistry:
 
     def test_unknown_point_rejected(self):
         with pytest.raises(TraceError):
-            TRACE.point("no_such_event")
+            TRACE.point("no_such_event")  # deliberately invalid - simlint: disable=trace-catalogue
 
     def test_disabled_until_subscribed(self):
         registry = TraceRegistry()
@@ -72,13 +72,13 @@ class TestRegistry:
         registry = TraceRegistry()
         registry.subscribe(lambda event: None, events=["bio_submit"])
         with pytest.raises(TraceError, match="bogus"):
-            registry.point("bio_submit").emit(0.0, bogus=1)
+            registry.point("bio_submit").emit(0.0, bogus=1)  # deliberately invalid - simlint: disable=trace-catalogue
 
     def test_emit_rejects_missing_required_fields(self):
         registry = TraceRegistry()
         registry.subscribe(lambda event: None, events=["qos_period"])
         with pytest.raises(TraceError, match="active_groups"):
-            registry.point("qos_period").emit(0.0, period=0.05, vrate=1.0)
+            registry.point("qos_period").emit(0.0, period=0.05, vrate=1.0)  # deliberately invalid - simlint: disable=trace-catalogue
 
     def test_emit_allows_omitting_optional_dev(self):
         """``dev`` is declared optional: single-device rigs skip it."""
@@ -95,7 +95,7 @@ class TestRegistry:
         point = TracePoint("custom", ("dev", "value"))
         assert point.required == frozenset({"value"})
         with pytest.raises(TraceError, match="value"):
-            point.emit(0.0, dev="8:0")
+            point.emit(0.0, dev="8:0")  # deliberately invalid - simlint: disable=trace-catalogue
 
     def test_subscription_filters_events(self):
         registry = TraceRegistry()

@@ -1,0 +1,79 @@
+"""The differential harness: fast and slow paths must byte-match, and a
+divergence must be localized to its first differing trace line."""
+
+import pytest
+
+from repro.sanitize import SANITIZE
+from repro.sanitize.__main__ import main
+from repro.sanitize.diff import first_divergence, run_diff, run_traced
+
+
+@pytest.fixture(autouse=True)
+def fresh_sanitizer():
+    SANITIZE.reset()
+    was = SANITIZE.enabled
+    yield
+    SANITIZE.enabled = was
+    SANITIZE.reset()
+
+
+class TestFirstDivergence:
+    def test_identical_is_none(self):
+        assert first_divergence("a\nb\n", "a\nb\n") is None
+
+    def test_first_differing_line(self):
+        line, fast, slow = first_divergence("a\nb\nc\n", "a\nX\nc\n")
+        assert line == 2 and fast == "b" and slow == "X"
+
+    def test_length_mismatch(self):
+        line, fast, slow = first_divergence("a\n", "a\nb\n")
+        assert line == 2 and fast is None and slow == "b"
+
+
+class TestRunTraced:
+    def test_traces_are_byte_identical(self):
+        fast = run_traced(bios=400, depth=16, slow=False)
+        slow = run_traced(bios=400, depth=16, slow=True)
+        assert fast == slow and fast.count("\n") > 400
+
+    def test_slow_run_counts_sanitize_checks(self):
+        run_traced(bios=200, depth=8, slow=True)
+        assert SANITIZE.checks["time_monotonic"] > 0
+        assert SANITIZE.checks["slot_conservation"] == 400
+
+    def test_fast_run_leaves_instrumentation_off(self):
+        # Even when the ambient process is sanitized (REPRO_SANITIZE=1),
+        # the fast run must suspend the checkers for its duration — and
+        # restore the ambient flag afterwards.
+        ambient = SANITIZE.enabled
+        run_traced(bios=200, depth=8, slow=False)
+        assert all(count == 0 for count in SANITIZE.snapshot().values())
+        assert SANITIZE.enabled == ambient
+
+    def test_runs_are_reproducible(self):
+        assert run_traced(300, 8, slow=False) == run_traced(300, 8, slow=False)
+
+
+class TestRunDiff:
+    def test_report_shape(self):
+        report = run_diff(bios=300, depth=8)
+        assert report["identical"] is True
+        assert report["bios"] == 300
+        assert report["events"] == report["fast_trace"].count("\n")
+        assert "divergence" not in report
+
+
+class TestCli:
+    def test_identical_exits_zero(self, capsys):
+        assert main(["diff", "--bios", "200", "--depth", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "byte-identical" in out
+
+    def test_out_writes_traces(self, tmp_path, capsys):
+        code = main(
+            ["diff", "--bios", "100", "--depth", "8", "--out", str(tmp_path)]
+        )
+        assert code == 0
+        fast = (tmp_path / "fast.jsonl").read_text()
+        slow = (tmp_path / "slow.jsonl").read_text()
+        assert fast == slow and fast.startswith("{")

@@ -1,0 +1,489 @@
+"""simlint v2: the interprocedural rules and the pragma ledger.
+
+Same fixture style as test_simlint.py — every rule gets planted
+violations that must be flagged, clean variants that must pass, and
+pragma interactions — plus the tokenizer-level edge cases (pragmas in
+docstrings, markers on decorator lines) and a baseline round-trip over
+v2 findings.
+"""
+
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.tools.simlint import (
+    RULES,
+    LintConfig,
+    apply_baseline,
+    lint_source,
+    load_baseline,
+    write_baseline,
+)
+
+
+def findings_for(source, rule=None, path="snippet.py"):
+    config = LintConfig(select=[rule] if rule else None)
+    return lint_source(textwrap.dedent(source), path, config)
+
+
+class TestRegistryV2:
+    def test_v2_rules_registered(self):
+        expected = {
+            "unit-flow",
+            "rng-stream-labels",
+            "dual-path-parity",
+            "unused-pragma",
+        }
+        assert expected <= set(RULES)
+
+
+class TestUnitFlow:
+    def test_assignment_across_units_flagged(self):
+        found = findings_for(
+            """
+            def f():
+                window_sec = 1.0
+                total_usec = window_sec
+            """,
+            rule="unit-flow",
+        )
+        assert len(found) == 1 and "total_usec" in found[0].message
+
+    def test_module_level_constant_flow_flagged(self):
+        found = findings_for(
+            "period_sec = 0.1\nperiod_usec = period_sec\n",
+            rule="unit-flow",
+        )
+        assert len(found) == 1
+
+    def test_attribute_store_flagged(self):
+        found = findings_for(
+            """
+            class W:
+                def f(self):
+                    self.total_usec = self.window_sec
+            """,
+            rule="unit-flow",
+        )
+        assert len(found) == 1
+
+    def test_return_flow_through_call_chain_flagged(self):
+        # The PR-2 incident shape: a _usec-named accessor returning the
+        # value of a _sec-returning helper two hops away.
+        found = findings_for(
+            """
+            class W:
+                def _window_sec(self):
+                    return self.span_sec
+
+                def _passthrough(self):
+                    return self._window_sec()
+
+                def total_usec(self):
+                    return self._passthrough()
+            """,
+            rule="unit-flow",
+        )
+        assert len(found) == 1 and "total_usec" in found[0].message
+
+    def test_call_argument_flow_flagged(self):
+        found = findings_for(
+            """
+            def arm(delay_usec):
+                return delay_usec
+
+            def caller():
+                timeout_sec = 2.0
+                arm(timeout_sec)
+            """,
+            rule="unit-flow",
+        )
+        assert len(found) == 1 and "delay_usec" in found[0].message
+
+    def test_cost_is_a_distinct_tag(self):
+        found = findings_for(
+            """
+            def f():
+                latency_sec = 0.0
+                abs_cost = latency_sec
+            """,
+            rule="unit-flow",
+        )
+        assert len(found) == 1 and "cost" in found[0].message
+
+    def test_multiplication_is_a_conversion(self):
+        assert not findings_for(
+            """
+            def f():
+                window_sec = 1.0
+                total_usec = window_sec * 1e6
+            """,
+            rule="unit-flow",
+        )
+
+    def test_agreeing_units_pass(self):
+        assert not findings_for(
+            """
+            def f():
+                a_usec = 1.0
+                b_usec = 2.0
+                total_usec = a_usec + b_usec
+            """,
+            rule="unit-flow",
+        )
+
+    def test_mixed_addition_drops_the_tag(self):
+        # a_usec + b_sec is itself unit-suffix's business; the *flow* rule
+        # must not claim to know the result's unit.
+        assert not findings_for(
+            """
+            def f():
+                a_usec = 1.0
+                b_sec = 2.0
+                x_msec = a_usec + b_sec
+            """,
+            rule="unit-flow",
+        )
+
+    def test_pragma_suppresses(self):
+        assert not findings_for(
+            """
+            def f():
+                window_sec = 1.0
+                total_usec = window_sec  # simlint: disable=unit-flow
+            """,
+            rule="unit-flow",
+        )
+
+
+class TestRngStreamLabels:
+    def test_non_literal_label_flagged(self):
+        found = findings_for(
+            """
+            def f(bed, name):
+                return bed.rng_for(name)
+            """,
+            rule="rng-stream-labels",
+        )
+        assert len(found) == 1 and "literal-derivable" in found[0].message
+
+    def test_fstring_without_literal_prefix_flagged(self):
+        found = findings_for(
+            """
+            def f(bed, name):
+                return bed.rng_for(f"{name}")
+            """,
+            rule="rng-stream-labels",
+        )
+        assert len(found) == 1
+
+    def test_empty_label_flagged(self):
+        found = findings_for(
+            """
+            def f(bed):
+                return bed.rng_for("")
+            """,
+            rule="rng-stream-labels",
+        )
+        assert len(found) == 1 and "no distinguishing literal" in found[0].message
+
+    def test_duplicate_label_in_scope_flagged(self):
+        found = findings_for(
+            """
+            def f(bed):
+                a = bed.rng_for("device:vda")
+                b = bed.rng_for("device:vda")
+                return a, b
+            """,
+            rule="rng-stream-labels",
+        )
+        assert len(found) == 1 and "share one bit stream" in found[0].message
+
+    def test_duplicate_fstring_skeleton_flagged(self):
+        # Same template, different interpolated names: statically the same
+        # collision risk class, so it is flagged.
+        found = findings_for(
+            """
+            def f(bed, a, b):
+                x = bed.rng_for(f"dev:{a}")
+                y = bed.rng_for(f"dev:{b}")
+                return x, y
+            """,
+            rule="rng-stream-labels",
+        )
+        assert len(found) == 1
+
+    def test_same_label_in_different_scopes_passes(self):
+        assert not findings_for(
+            """
+            def f(bed):
+                return bed.rng_for("gc")
+
+            def g(bed):
+                return bed.rng_for("gc")
+            """,
+            rule="rng-stream-labels",
+        )
+
+    def test_noise_stream_label_is_second_argument(self):
+        found = findings_for(
+            """
+            def f(rng, name):
+                return noise_stream(rng, name)
+            """,
+            rule="rng-stream-labels",
+        )
+        assert len(found) == 1
+        assert not findings_for(
+            """
+            def f(rng):
+                return noise_stream(rng, "gc_stall")
+            """,
+            rule="rng-stream-labels",
+        )
+
+    def test_distinct_literal_labels_pass(self):
+        assert not findings_for(
+            """
+            def f(bed):
+                a = bed.rng_for("device:vda")
+                b = bed.rng_for("device:vdb")
+                return a, b
+            """,
+            rule="rng-stream-labels",
+        )
+
+
+DUAL_OK = """
+class S:
+    def fast(self):
+        # simlint: dual-of=S.slow
+        self.count += 1
+
+    def slow(self):
+        self.count += 1
+"""
+
+
+class TestDualPathParity:
+    def test_matching_pair_passes(self):
+        assert not findings_for(DUAL_OK, rule="dual-path-parity")
+
+    def test_mutation_mismatch_flagged(self):
+        found = findings_for(
+            """
+            class S:
+                def fast(self):
+                    # simlint: dual-of=S.slow
+                    self.count += 1
+
+                def slow(self):
+                    self.other += 1
+            """,
+            rule="dual-path-parity",
+        )
+        assert len(found) == 1 and "mutate different attribute" in found[0].message
+
+    def test_observability_state_is_the_allowed_delta(self):
+        assert not findings_for(
+            """
+            class S:
+                def fast(self):
+                    # simlint: dual-of=S.slow
+                    self.count += 1
+
+                def slow(self):
+                    prof = self._prof
+                    if prof.enabled:
+                        prof.steps += 1
+                        self._prof.pops += 1
+                    self.count += 1
+            """,
+            rule="dual-path-parity",
+        )
+
+    def test_transitive_mutations_count(self):
+        assert not findings_for(
+            """
+            class S:
+                def fast(self):
+                    # simlint: dual-of=S.slow
+                    self._bump()
+
+                def slow(self):
+                    self.count += 1
+
+                def _bump(self):
+                    self.count += 1
+            """,
+            rule="dual-path-parity",
+        )
+
+    def test_emit_mismatch_flagged(self):
+        found = findings_for(
+            """
+            from repro.obs.trace import TRACE
+
+            class S:
+                def __init__(self):
+                    self._tp = TRACE.points["bio_submit"]
+
+                def fast(self):
+                    # simlint: dual-of=S.slow
+                    self._tp.emit(0.0)
+
+                def slow(self):
+                    pass
+            """,
+            rule="dual-path-parity",
+        )
+        assert len(found) == 1 and "different tracepoint" in found[0].message
+
+    def test_marker_on_line_above_def(self):
+        found = findings_for(
+            """
+            class S:
+                # simlint: dual-of=S.slow
+                def fast(self):
+                    self.count += 1
+
+                def slow(self):
+                    self.other += 1
+            """,
+            rule="dual-path-parity",
+        )
+        assert len(found) == 1
+
+    def test_orphan_marker_flagged(self):
+        found = findings_for(
+            "# simlint: dual-of=S.slow\nX = 1\n",
+            rule="dual-path-parity",
+        )
+        assert len(found) == 1 and "not attached" in found[0].message
+
+    def test_self_dual_flagged(self):
+        found = findings_for(
+            """
+            def fast():
+                # simlint: dual-of=fast
+                return 1
+            """,
+            rule="dual-path-parity",
+        )
+        assert len(found) == 1 and "its own dual" in found[0].message
+
+    def test_missing_target_flagged(self):
+        found = findings_for(
+            """
+            def fast():
+                # simlint: dual-of=nonexistent
+                return 1
+            """,
+            rule="dual-path-parity",
+        )
+        assert len(found) == 1 and "not defined in this module" in found[0].message
+
+    def test_marker_in_docstring_does_not_count(self):
+        assert not findings_for(
+            '''
+            def f():
+                """Example: ``# simlint: dual-of=Simulator.run``."""
+                return 1
+            ''',
+            rule="dual-path-parity",
+        )
+
+
+class TestUnusedPragma:
+    def test_dead_pragma_flagged(self):
+        found = findings_for(
+            "x = 1  # simlint: disable=no-wallclock\n",
+        )
+        assert [f.rule for f in found] == ["unused-pragma"]
+        assert "suppresses nothing" in found[0].message
+
+    def test_dead_disable_all_flagged(self):
+        # A dead ``all`` must not self-suppress via its own "all".
+        found = findings_for("x = 1  # simlint: disable=all\n")
+        assert [f.rule for f in found] == ["unused-pragma"]
+
+    def test_unknown_rule_name_flagged(self):
+        found = findings_for("x = 1  # simlint: disable=no-such-rule\n")
+        assert [f.rule for f in found] == ["unused-pragma"]
+        assert "unknown rule" in found[0].message
+
+    def test_used_pragma_passes(self):
+        assert not findings_for(
+            "import time\nstart = time.time()  # simlint: disable=no-wallclock\n",
+        )
+
+    def test_pragma_on_line_above_counts_as_used(self):
+        assert not findings_for(
+            "import time\n# simlint: disable=no-wallclock\nstart = time.time()\n",
+        )
+
+    def test_explicit_unused_pragma_optout(self):
+        assert not findings_for(
+            "x = 1  # simlint: disable=no-wallclock,unused-pragma\n",
+        )
+
+    def test_disabled_rule_pragma_not_flagged(self):
+        # A pragma for a rule not enabled this run could not have fired;
+        # flagging it would punish running with --select.
+        config = LintConfig(select=["unused-pragma"])
+        found = lint_source(
+            "x = 1  # simlint: disable=no-wallclock\n", "snippet.py", config
+        )
+        assert not found
+
+
+class TestPragmaTokenization:
+    def test_pragma_inside_docstring_does_not_suppress(self):
+        # The pragma text sits in a string literal on the line above the
+        # violation; a raw line scan would treat it as a suppression.
+        found = findings_for(
+            'import time\nDOC = """simlint: disable=no-wallclock"""\nstart = time.time()\n',
+            rule="no-wallclock",
+        )
+        assert len(found) == 1
+
+    def test_pragma_inside_docstring_not_flagged_as_unused(self):
+        assert not findings_for('DOC = """simlint: disable=no-wallclock"""\n')
+
+    def test_pragma_on_decorator_line(self):
+        # A def-anchored finding (the FunctionDef node's lineno is the
+        # ``def`` line, below any decorators) is suppressed by a pragma on
+        # the decorator line directly above it.
+        assert not findings_for(
+            """
+            def deco(fn):
+                return fn
+
+            @deco  # simlint: disable=no-mutable-default
+            def f(x=[]):
+                return x
+            """,
+            rule="no-mutable-default",
+        )
+
+
+class TestBaselineRoundTripV2:
+    def test_v2_findings_round_trip(self, tmp_path: Path):
+        source = textwrap.dedent(
+            """
+            def f(bed):
+                a = bed.rng_for("x")
+                b = bed.rng_for("x")
+                window_sec = 1.0
+                total_usec = window_sec
+                return a, b
+            """
+        )
+        found = lint_source(source, "mod.py", LintConfig())
+        assert {f.rule for f in found} == {"rng-stream-labels", "unit-flow"}
+        baseline_path = tmp_path / "simlint.baseline"
+        write_baseline(baseline_path, found)
+        baseline = load_baseline(baseline_path)
+        new, old = apply_baseline(found, baseline)
+        assert not new and len(old) == len(found)
