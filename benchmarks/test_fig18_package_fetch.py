@@ -1,99 +1,107 @@
 """Figure 18 — Package-fetching failures across a region migration.
 
-A region of machines migrates from IOLatency to IOCost over eight weeks.
-Package fetches (a sequential package write plus metadata reads in
-``system.slice``, under a saturating main workload) fail when they exceed
-their deadline.  Per-machine task durations are *simulated* per controller;
-the region Monte Carlo then samples weekly failures as the migration ramps.
+A 3000-host region migrates from IOLatency to IOCost over eight weeks,
+driven through the fleet scheduler (`docs/FLEET.md`): per-controller task
+durations are measured by sharded, content-addressed machine simulations
+(`repro.fleet.experiments.run_fleet_task_durations`), the scheduler's
+label-keyed migration order decides *which* hosts flip each week, and the
+weekly failure Monte Carlo draws every (week, cohort) from its own
+labeled substream.  Package fetches (a sequential package write plus
+metadata reads in ``system.slice``, under a saturating main workload)
+fail when they exceed their deadline.
 
 Paper shape: roughly 10x fewer package-fetching errors once the region is
 fully on IOCost.
 """
 
+import tempfile
+
 import pytest
 
 from repro.analysis.report import Table
-from repro.block.device import DeviceSpec
-from repro.controllers.iolatency import IOLatencyController
-from repro.core.controller import IOCost
-from repro.core.cost_model import LinearCostModel, ModelParams
-from repro.core.qos import QoSParams
-from repro.workloads.fleet import (
-    PACKAGE_FETCH,
-    FleetMigration,
-    measure_task_durations,
-)
+from repro.fleet.runner import run_staged_migration
+from repro.fleet.spec import FleetSpec
+from repro.workloads.fleet import PACKAGE_FETCH
 
 from benchmarks.conftest import run_experiment
 
-FLEET_SPEC = DeviceSpec(
-    name="fleetdev",
-    parallelism=4,
-    srv_rand_read=100e-6,
-    srv_seq_read=100e-6,
-    srv_rand_write=100e-6,
-    srv_seq_write=100e-6,
-    read_bw=500e6,
-    write_bw=500e6,
-    sigma=0.1,
-    nr_slots=64,
-)
+#: The fleet device as an inline spec table, so it rides through the
+#: content-addressed duration cells like any other parameter.
+FLEETDEV = {
+    "parallelism": 4,
+    "srv_rand_read": 100e-6,
+    "srv_seq_read": 100e-6,
+    "srv_rand_write": 100e-6,
+    "srv_seq_write": 100e-6,
+    "read_bw": 500e6,
+    "write_bw": 500e6,
+    "sigma": 0.1,
+    "nr_slots": 64,
+}
 
 # Fraction of the region on IOCost per week (two-month staged rollout).
 MIGRATION_SCHEDULE = [0.0, 0.05, 0.15, 0.3, 0.5, 0.7, 0.9, 1.0]
 
 
-def iocost_factory():
-    return IOCost(
-        LinearCostModel(ModelParams.from_device_spec(FLEET_SPEC)),
-        qos=QoSParams(read_lat_target=5e-3, read_pct=90, period=0.05),
+def region_spec(name, task, seed):
+    """A one-group 3000-host region with the staged rollout attached."""
+    return FleetSpec.from_dict({
+        "name": name,
+        "seed": seed,
+        "capacity": "rated",
+        "hosts": {"region": {"count": 3000, "device": dict(FLEETDEV)}},
+        "workloads": [],
+        "migration": {
+            "schedule": list(MIGRATION_SCHEDULE),
+            "task": task,
+            "samples": 10,
+            "tasks_per_host_week": 10,
+            "settle": 0.5,
+        },
+    })
+
+
+def print_migration_table(title, report):
+    table = Table(
+        title, ["week", "on iocost", "attempts", "failures", "rate"],
     )
-
-
-def iolatency_factory():
-    # Production-tuned for the main workload; system slice unprotected.
-    return IOLatencyController({"workload.slice/main": 0.5e-3})
+    for week in report.weeks:
+        table.add_row(
+            week.week,
+            f"{week.scheduled_fraction:.0%}",
+            week.attempts,
+            week.failures,
+            f"{week.failure_rate:.2%}",
+        )
+    table.print()
+    old = sorted(report.durations[f"region:{report.from_controller}"])
+    new = sorted(report.durations[f"region:{report.to_controller}"])
+    print(
+        f"task duration medians: {report.from_controller}={old[len(old) // 2]:.1f}s "
+        f"{report.to_controller}={new[len(new) // 2]:.1f}s "
+        f"(deadline {report.deadline:g}s)"
+    )
 
 
 def run_migration():
-    old = measure_task_durations(
-        FLEET_SPEC, iolatency_factory, PACKAGE_FETCH, samples=10, seed=1
-    )
-    new = measure_task_durations(
-        FLEET_SPEC, iocost_factory, PACKAGE_FETCH, samples=10, seed=1
-    )
-    fleet = FleetMigration(
-        old, new, deadline=PACKAGE_FETCH.deadline,
-        machines=3000, tasks_per_machine_week=10, seed=42,
-    )
-    return fleet.run(MIGRATION_SCHEDULE), old, new
+    spec = region_spec("fig18-region", "package_fetch", seed=42)
+    store = tempfile.mkdtemp(prefix="fig18-")
+    return run_staged_migration(spec, store, workers=4)
 
 
 def test_fig18_package_fetch_failures(benchmark):
-    reports, old, new = run_experiment(benchmark, run_migration)
+    report = run_experiment(benchmark, run_migration)
 
-    table = Table(
+    print_migration_table(
         "Figure 18: package-fetching failures during IOLatency -> IOCost migration",
-        ["week", "on iocost", "attempts", "failures", "rate"],
-    )
-    for report in reports:
-        table.add_row(
-            report.week,
-            f"{report.migrated_fraction:.0%}",
-            report.attempts,
-            report.failures,
-            f"{report.failure_rate:.2%}",
-        )
-    table.print()
-    print(
-        f"task duration medians: iolatency={sorted(old)[len(old) // 2]:.1f}s "
-        f"iocost={sorted(new)[len(new) // 2]:.1f}s (deadline {PACKAGE_FETCH.deadline}s)"
+        report,
     )
 
-    first, last = reports[0], reports[-1]
+    first, last = report.weeks[0], report.weeks[-1]
+    assert report.task == PACKAGE_FETCH.name
     assert first.failures > 0
     # Roughly an order of magnitude fewer failures after full migration.
     assert last.failures < first.failures / 5
     # Monotone-ish decline as the migration ramps.
-    rates = [report.failure_rate for report in reports]
+    rates = [week.failure_rate for week in report.weeks]
     assert all(b <= a * 1.25 for a, b in zip(rates, rates[1:]))

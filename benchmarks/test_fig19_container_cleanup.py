@@ -1,69 +1,46 @@
 """Figure 19 — Container-cleanup failures across a region migration.
 
-Same migration model as Figure 18, for the btrfs container-cleanup task:
-metadata IO from ``hostcritical.slice`` under a saturating main workload,
-counted as a failure when it takes longer than 5 seconds.
+Same scheduler-driven migration as Figure 18, for the btrfs
+container-cleanup task: metadata IO from ``hostcritical.slice`` under a
+saturating main workload, counted as a failure when it takes longer than
+5 seconds.
 
 Paper shape: an immediate ~3x reduction in cleanup stalls as the region
 moves to IOCost.
 """
 
+import tempfile
+
 import pytest
 
-from repro.analysis.report import Table
-from repro.workloads.fleet import (
-    CONTAINER_CLEANUP,
-    FleetMigration,
-    measure_task_durations,
-)
+from repro.fleet.runner import run_staged_migration
+from repro.workloads.fleet import CONTAINER_CLEANUP
 
 from benchmarks.conftest import run_experiment
 from benchmarks.test_fig18_package_fetch import (
-    FLEET_SPEC,
-    MIGRATION_SCHEDULE,
-    iocost_factory,
-    iolatency_factory,
+    print_migration_table,
+    region_spec,
 )
 
 
 def run_migration():
-    old = measure_task_durations(
-        FLEET_SPEC, iolatency_factory, CONTAINER_CLEANUP, samples=10, seed=2
-    )
-    new = measure_task_durations(
-        FLEET_SPEC, iocost_factory, CONTAINER_CLEANUP, samples=10, seed=2
-    )
-    fleet = FleetMigration(
-        old, new, deadline=CONTAINER_CLEANUP.deadline,
-        machines=3000, tasks_per_machine_week=10, seed=43,
-    )
-    return fleet.run(MIGRATION_SCHEDULE), old, new
+    spec = region_spec("fig19-region", "container_cleanup", seed=43)
+    store = tempfile.mkdtemp(prefix="fig19-")
+    return run_staged_migration(spec, store, workers=4)
 
 
 def test_fig19_container_cleanup_failures(benchmark):
-    reports, old, new = run_experiment(benchmark, run_migration)
+    report = run_experiment(benchmark, run_migration)
 
-    table = Table(
+    print_migration_table(
         "Figure 19: container-cleanup failures (>5s) during the migration",
-        ["week", "on iocost", "attempts", "failures", "rate"],
-    )
-    for report in reports:
-        table.add_row(
-            report.week,
-            f"{report.migrated_fraction:.0%}",
-            report.attempts,
-            report.failures,
-            f"{report.failure_rate:.2%}",
-        )
-    table.print()
-    print(
-        f"task duration medians: iolatency={sorted(old)[len(old) // 2]:.2f}s "
-        f"iocost={sorted(new)[len(new) // 2]:.2f}s (deadline {CONTAINER_CLEANUP.deadline}s)"
+        report,
     )
 
-    first, last = reports[0], reports[-1]
+    first, last = report.weeks[0], report.weeks[-1]
+    assert report.task == CONTAINER_CLEANUP.name
     assert first.failures > 0
     # Paper: roughly a 3x reduction in stalls.
     assert last.failures < first.failures / 2.5
-    rates = [report.failure_rate for report in reports]
+    rates = [week.failure_rate for week in report.weeks]
     assert all(b <= a * 1.25 for a, b in zip(rates, rates[1:]))

@@ -154,14 +154,14 @@ def run_testbed(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
     if not isinstance(workload_table, list) or not workload_table:
         raise ExperimentError("testbed params need a 'workloads' list")
 
-    bed = Testbed(seed=seed, **_machine_kwargs(params))
+    bed = Testbed(seed=seed, **machine_kwargs(params))
     groups = {
         path: bed.add_cgroup(path, weight=int(weight))
         for path, weight in cgroup_table.items()
     }
     duration = float(params.get("duration", 1.0))
     for entry in workload_table:
-        _attach_workload(bed, groups, entry, duration)
+        attach_workload(bed, groups, entry, duration)
 
     percentiles = [float(p) for p in params.get("percentiles", [50, 95, 99])]
     trace_names = params.get("trace_events") or []
@@ -210,8 +210,12 @@ def _scaled_spec(name: str, params: Dict[str, Any]) -> Any:
     return spec if scale is None else spec.scaled(float(scale))
 
 
-def _machine_kwargs(params: Dict[str, Any]) -> Dict[str, Any]:
-    """Testbed constructor kwargs shared by the testbed-shaped kinds."""
+def machine_kwargs(params: Dict[str, Any]) -> Dict[str, Any]:
+    """Testbed constructor kwargs shared by the testbed-shaped kinds.
+
+    Public because other kinds (:mod:`repro.fleet.experiments`) build
+    machines from the same param-table format.
+    """
     kwargs: Dict[str, Any] = {}
     if "devices" in params:
         kwargs["devices"] = {
@@ -233,12 +237,17 @@ def _machine_kwargs(params: Dict[str, Any]) -> Dict[str, Any]:
     return kwargs
 
 
-def _attach_workload(
+def attach_workload(
     bed: Testbed,
     groups: Dict[str, Any],
     entry: Dict[str, Any],
     duration: float,
 ) -> None:
+    """Attach one declarative workload table to a testbed cgroup.
+
+    Public because other kinds (:mod:`repro.fleet.experiments`) build
+    testbed-shaped scenarios from the same workload-table format.
+    """
     if not isinstance(entry, dict):
         raise ExperimentError("each workload must be a table")
     entry = dict(entry)
@@ -478,7 +487,7 @@ def run_chaos(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
         raise ExperimentError("chaos params need a 'faults' list of fault tables")
     plan = plan_from_config(fault_tables)  # unseeded: the testbed binds it
 
-    kwargs = _machine_kwargs(params)
+    kwargs = machine_kwargs(params)
     fault_device = params.get("fault_device")
     kwargs["faults"] = plan if fault_device is None else {fault_device: plan}
     if params.get("io_timeout") is not None:
@@ -492,7 +501,7 @@ def run_chaos(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
     }
     duration = float(params.get("duration", 1.0))
     for entry in workload_table:
-        _attach_workload(bed, groups, entry, duration)
+        attach_workload(bed, groups, entry, duration)
 
     protected = params.get("protected", next(iter(cgroup_table)))
     if protected not in cgroup_table:
@@ -597,7 +606,9 @@ __all__ = [
     "ExperimentFn",
     "REGISTRY",
     "TRACE_KEY",
+    "attach_workload",
     "experiment",
+    "machine_kwargs",
     "resolve",
     "run_chaos",
     "run_mechanism_2to1",

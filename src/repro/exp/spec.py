@@ -191,20 +191,30 @@ def _load_toml(path: Path) -> Dict[str, Any]:
         return toml_reader.load(handle)
 
 
-def load_spec(path: Union[str, Path]) -> ExperimentSpec:
-    """Load a spec document from a ``.toml`` or ``.json`` file."""
+def load_document(path: Union[str, Path]) -> Dict[str, Any]:
+    """Read a ``.toml``/``.json`` spec document into a plain mapping.
+
+    The shared front door for every declarative spec format in the repo:
+    experiment sweeps here, cluster specs in :mod:`repro.fleet.spec`.
+    """
     path = Path(path)
     if not path.is_file():
         raise SpecError(f"no such spec file: {path}")
     if path.suffix == ".toml":
-        document = _load_toml(path)
-    elif path.suffix == ".json":
+        return _load_toml(path)
+    if path.suffix == ".json":
         document = json.loads(path.read_text())
-    else:
-        raise SpecError(
-            f"unsupported spec extension {path.suffix!r} (want .toml or .json)"
-        )
-    return ExperimentSpec.from_dict(document)
+        if not isinstance(document, dict):
+            raise SpecError(f"{path}: spec document must be a JSON object")
+        return document
+    raise SpecError(
+        f"unsupported spec extension {path.suffix!r} (want .toml or .json)"
+    )
+
+
+def load_spec(path: Union[str, Path]) -> ExperimentSpec:
+    """Load a spec document from a ``.toml`` or ``.json`` file."""
+    return ExperimentSpec.from_dict(load_document(path))
 
 
 __all__ = [
@@ -212,6 +222,7 @@ __all__ = [
     "SpecError",
     "canonical_json",
     "content_hash",
+    "load_document",
     "load_spec",
     "seed_entropy",
 ]

@@ -1,0 +1,172 @@
+"""Fleet rollups: merge per-host results into cluster dashboards.
+
+The paper's fleet telemetry is aggregated two ways, and the distinction
+matters enough that both are reported:
+
+* **percentile-of-percentiles** — the p99 *of the per-host p99s* ("how bad
+  is a bad host"), the shape fleet dashboards usually draw because hosts
+  report pre-aggregated windows;
+* **pooled percentiles** — merge every host's latency *histogram*
+  (:meth:`repro.obs.metrics.Histogram.merge` — associative, so host order
+  and sharding are irrelevant) and read the percentile of the pooled
+  distribution ("how bad is a bad IO").  Pooled p99 ≤ p99-of-p99 whenever
+  slow hosts are a minority; the gap between the two is itself a useful
+  skew signal.
+
+Rollups are keyed by **workload template** (the scheduler's placement
+plan maps each host cgroup back to its template), with machine-slice
+``io.stat`` totals and controller vrate stats alongside.  Everything is
+canonical-JSON-able and built from sorted host order, so a rollup is
+byte-stable across worker counts — the determinism tests compare rollup
+bytes, not just per-host results.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+from repro.obs.metrics import Histogram, exact_percentile
+
+#: Rollup document schema (bump on shape changes).
+ROLLUP_SCHEMA = "repro.fleet.rollup/1"
+
+
+def merge_histograms(
+    payloads: Sequence[Mapping[str, Any]], name: str = ""
+) -> Optional[Histogram]:
+    """Merge serialized histograms (``Histogram.to_dict`` payloads)."""
+    merged: Optional[Histogram] = None
+    for payload in payloads:
+        hist = Histogram.from_dict(dict(payload), name=name)
+        if merged is None:
+            merged = hist
+        else:
+            merged.merge(hist)
+    return merged
+
+
+def _percentile_keys(pct: float) -> str:
+    return f"p{pct:g}"
+
+
+def fleet_rollup(
+    plan: Mapping[str, Any],
+    results: Mapping[str, Mapping[str, Any]],
+    percentiles: Sequence[float] = (50.0, 95.0, 99.0),
+) -> Dict[str, Any]:
+    """Roll per-host results up into the fleet dashboard document.
+
+    ``plan`` is :meth:`repro.fleet.scheduler.FleetScheduler.plan`;
+    ``results`` maps host id → :func:`repro.fleet.experiments.run_fleet_host`
+    output (missing hosts — failed or not yet run — are simply absent from
+    the aggregates and listed under ``hosts.missing``).
+    """
+    plan_hosts: Mapping[str, Any] = plan.get("hosts", {})
+    host_ids = sorted(plan_hosts)
+    reporting = [host_id for host_id in host_ids if host_id in results]
+    missing = [host_id for host_id in host_ids if host_id not in results]
+
+    # -- per-workload-template aggregation ----------------------------------
+    #: template -> {"iops": [...], "hist_payloads": [...], pct -> [values]}
+    by_template: Dict[str, Dict[str, Any]] = {}
+    for host_id in reporting:
+        result = results[host_id]
+        cgroup_results = result.get("cgroups", {})
+        hist_payloads = result.get("latency_hist", {})
+        for placement in plan_hosts[host_id].get("workloads", []):
+            template = str(placement["workload"])
+            path = str(placement["cgroup"])
+            cell = cgroup_results.get(path)
+            if cell is None:
+                continue
+            agg = by_template.setdefault(
+                template,
+                {"hosts": 0, "iops": [], "hists": [], "per_pct": {}},
+            )
+            agg["hosts"] += 1
+            agg["iops"].append(float(cell.get("iops", 0.0)))
+            payload = hist_payloads.get(path)
+            if payload is not None:
+                agg["hists"].append(payload)
+            for pct in percentiles:
+                value = cell.get(f"read_p{pct:g}")
+                if value is not None:
+                    agg["per_pct"].setdefault(pct, []).append(float(value))
+
+    workloads: Dict[str, Any] = {}
+    for template in sorted(by_template):
+        agg = by_template[template]
+        merged = merge_histograms(agg["hists"], name=template)
+        latency: Dict[str, Any] = {}
+        for pct in percentiles:
+            key = _percentile_keys(pct)
+            values: List[float] = agg["per_pct"].get(pct, [])
+            latency[key] = {
+                # p99 of the per-host p99s: the dashboard aggregate.
+                "of_host_percentiles": (
+                    float(exact_percentile(values, pct)) if values else None
+                ),
+                "host_max": max(values) if values else None,
+                # The pooled distribution's percentile, from merged
+                # histograms: exact up to one bucket width.
+                "pooled": (
+                    float(merged.percentile(pct))
+                    if merged is not None and merged.count
+                    else None
+                ),
+            }
+        workloads[template] = {
+            "placements_reporting": agg["hosts"],
+            "iops_total": float(sum(agg["iops"])),
+            "samples": int(merged.count) if merged is not None else 0,
+            "read_latency": latency,
+        }
+
+    # -- machine-slice io.stat totals ---------------------------------------
+    iostat_totals: Dict[str, Dict[str, float]] = {}
+    for host_id in reporting:
+        for path, entry in results[host_id].get("iostat", {}).items():
+            acc = iostat_totals.setdefault(path, {})
+            for key, value in entry.items():
+                if key.startswith("cost."):
+                    continue  # gauges: meaningless to sum across hosts
+                acc[key] = acc.get(key, 0.0) + float(value)
+
+    # -- controller vrate stats ---------------------------------------------
+    vrates = [
+        float(results[host_id]["vrate_mean"])
+        for host_id in reporting
+        if results[host_id].get("vrate_mean") is not None
+    ]
+    vrate: Optional[Dict[str, float]] = None
+    if vrates:
+        vrate = {
+            "hosts": float(len(vrates)),
+            "mean": float(sum(vrates) / len(vrates)),
+            "min": float(min(vrates)),
+            "max": float(max(vrates)),
+        }
+
+    oversubscribed = sorted(
+        host_id
+        for host_id in host_ids
+        if plan_hosts[host_id].get("oversubscribed")
+    )
+    return {
+        "schema": ROLLUP_SCHEMA,
+        "fleet": plan.get("fleet", ""),
+        "fleet_hash": plan.get("fleet_hash", ""),
+        "policy": plan.get("policy", ""),
+        "hosts": {
+            "total": len(host_ids),
+            "reporting": len(reporting),
+            "missing": missing,
+            "oversubscribed": oversubscribed,
+        },
+        "workloads": workloads,
+        "iostat": iostat_totals,
+        "vrate": vrate,
+    }
+
+
+__all__ = ["ROLLUP_SCHEMA", "fleet_rollup", "merge_histograms"]

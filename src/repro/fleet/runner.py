@@ -1,0 +1,435 @@
+"""Fleet execution: shard host simulations across the repro.exp pool.
+
+The fleet layer does not grow its own executor.  A fleet run is compiled
+into an ordinary :class:`repro.exp.spec.ExperimentSpec` — one zip-axis
+cell per host, the kind given by dotted path so any worker process can
+resolve it — and handed to :func:`repro.exp.runner.run_sweep`.  Everything
+the sweep runner guarantees is therefore inherited wholesale:
+
+* **content-addressed caching** — a host cell's hash covers its device,
+  controller, placements and seed, so re-running a fleet after editing one
+  host group re-simulates only that group's hosts (unchanged hosts are
+  cache hits);
+* **per-host deterministic seeds** — each host's RNG entropy derives from
+  its cell content (:attr:`repro.exp.grid.RunSpec.derived_seed`), never
+  from scheduling;
+* **worker-count independence** — ``result.json`` bytes, and therefore
+  rollup bytes, are identical for 1 worker and 8.
+
+:func:`run_staged_migration` drives the Figures 18/19 reproduction the
+same way: the per-(group, controller, sample) task-duration simulations
+are sharded through the pool, then the weekly region Monte Carlo draws
+from :class:`repro.workloads.fleet.FleetMigration`'s label-keyed streams
+using the scheduler's staged rollout assignment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from repro.exp.runner import Clock, SweepReport, run_sweep
+from repro.exp.spec import ExperimentSpec
+from repro.exp.store import ArtifactStore
+from repro.fleet.rollup import fleet_rollup
+from repro.fleet.scheduler import FleetScheduler, group_capacities
+from repro.fleet.spec import FleetSpec, MigrationPlan
+from repro.workloads.fleet import FleetMigration
+
+#: Dotted-path kinds: resolvable in any worker without pre-registration.
+HOST_KIND = "repro.fleet.experiments.run_fleet_host"
+TASK_KIND = "repro.fleet.experiments.run_fleet_task_durations"
+
+#: Fleet bench-trajectory schema (``BENCH_fleet.json`` entries).
+BENCH_SCHEMA = "repro.fleet.bench/1"
+
+#: Rebalancing passes ``run_fleet_sweep`` knows how to apply, in order.
+POLICY_PASSES = ("consolidate", "balance")
+
+
+class FleetRunnerError(RuntimeError):
+    """Raised for unrunnable fleet configurations."""
+
+
+def host_params(spec: FleetSpec, scheduler: FleetScheduler) -> List[Dict[str, Any]]:
+    """One self-contained param dict per host, in host-ordinal order.
+
+    Each dict fully determines its host's simulation — the content hash
+    and derived seed digest it — and carries the host id, so two
+    otherwise-identical hosts still get distinct seeds (per-host variance,
+    as in a real fleet).
+    """
+    groups = {group.name: group for group in spec.hosts}
+    params: List[Dict[str, Any]] = []
+    for host in scheduler.hosts:
+        group = groups[host.group]
+        entry: Dict[str, Any] = {
+            "id": host.id,
+            "group": host.group,
+            "device": group.device,
+            "controller": group.controller,
+            "duration": spec.duration,
+            "percentiles": list(spec.percentiles),
+            "cgroups": {p.cgroup: p.weight for p in host.placements},
+            "workloads": [
+                {
+                    "cgroup": p.cgroup,
+                    "type": _template(spec, p.workload).type,
+                    **_template(spec, p.workload).params,
+                }
+                for p in host.placements
+            ],
+        }
+        if group.device_scale is not None:
+            entry["device_scale"] = group.device_scale
+        if group.qos is not None:
+            entry["qos"] = dict(group.qos)
+        if group.faults:
+            entry["faults"] = [dict(f) for f in group.faults]
+        params.append(entry)
+    return params
+
+
+def _template(spec: FleetSpec, name: str) -> Any:
+    for template in spec.workloads:
+        if template.name == name:
+            return template
+    raise FleetRunnerError(f"placement references unknown workload {name!r}")
+
+
+def fleet_sweep_spec(
+    spec: FleetSpec,
+    scheduler: FleetScheduler,
+    controllers: Optional[Dict[str, str]] = None,
+) -> ExperimentSpec:
+    """Compile a placed fleet into a one-cell-per-host experiment sweep.
+
+    ``controllers`` optionally overrides the per-host controller — this is
+    how the staged-migration policy runs a mixed fleet (some hosts on the
+    old stack, some on the new) through the same pipeline.
+    """
+    hosts = host_params(spec, scheduler)
+    if controllers is not None:
+        for entry in hosts:
+            override = controllers.get(entry["id"])
+            if override is not None:
+                entry["controller"] = override
+    return ExperimentSpec(
+        name=f"{spec.name}:hosts",
+        kind=HOST_KIND,
+        base={},
+        zip_axes={"host": tuple(hosts)},
+        seed=spec.seed,
+    )
+
+
+@dataclass
+class FleetReport:
+    """One fleet run: the placement plan, the sweep, and the rollup."""
+
+    fleet: str
+    fleet_hash: str
+    plan: Dict[str, Any]
+    sweep: SweepReport
+    rollup: Dict[str, Any]
+    results: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+
+    @property
+    def hosts_total(self) -> int:
+        return len(self.plan.get("hosts", {}))
+
+    @property
+    def hosts_per_sec(self) -> Optional[float]:
+        """Executed host simulations per wall second (cache hits excluded)."""
+        if self.sweep.elapsed_wall_sec <= 0 or self.sweep.executed == 0:
+            return None
+        return self.sweep.executed / self.sweep.elapsed_wall_sec
+
+    def to_bench_dict(self) -> Dict[str, Any]:
+        """One ``BENCH_fleet.json`` trajectory entry (schema-versioned)."""
+        return {
+            "schema": BENCH_SCHEMA,
+            "fleet": self.fleet,
+            "fleet_hash": self.fleet_hash,
+            "version": self.sweep.version,
+            "workers": self.sweep.workers,
+            "hosts": self.hosts_total,
+            "executed": self.sweep.executed,
+            "cache_hits": self.sweep.cache_hits,
+            "cache_hit_rate": self.sweep.hit_rate,
+            "failures": self.sweep.failures,
+            "elapsed_wall_sec": self.sweep.elapsed_wall_sec,
+            "hosts_per_sec": self.hosts_per_sec,
+        }
+
+
+def run_fleet_sweep(
+    spec: FleetSpec,
+    store: Union[ArtifactStore, str, Path],
+    workers: int = 1,
+    clock: Optional[Clock] = None,
+    force: bool = False,
+    retries: int = 1,
+    timeout_sec: Optional[float] = None,
+    policies: Tuple[str, ...] = (),
+) -> FleetReport:
+    """Place the fleet, shard host simulations over the pool, roll up.
+
+    ``policies`` optionally applies rebalancing passes between placement
+    and execution, in order — any of :data:`POLICY_PASSES`.
+    """
+    unknown = [p for p in policies if p not in POLICY_PASSES]
+    if unknown:
+        raise FleetRunnerError(
+            f"unknown rebalancing pass(es) {unknown} (want {POLICY_PASSES})"
+        )
+    scheduler = FleetScheduler(spec, group_capacities(spec))
+    scheduler.place()
+    for policy in policies:
+        if policy == "consolidate":
+            scheduler.consolidate()
+        else:
+            scheduler.balance()
+    sweep = run_sweep(
+        fleet_sweep_spec(spec, scheduler),
+        store,
+        workers=workers,
+        clock=clock,
+        force=force,
+        retries=retries,
+        timeout_sec=timeout_sec,
+    )
+    results = {
+        str(outcome.run.params["host"]["id"]): outcome.result
+        for outcome in sweep.outcomes
+        if outcome.ok and outcome.result is not None
+    }
+    plan = scheduler.plan()
+    return FleetReport(
+        fleet=spec.name,
+        fleet_hash=spec.fleet_hash,
+        plan=plan,
+        sweep=sweep,
+        rollup=fleet_rollup(plan, results, spec.percentiles),
+        results=results,
+    )
+
+
+# -- the staged migration policy (Figures 18/19) ------------------------------
+
+
+@dataclass
+class MigrationWeek:
+    """One week of the staged rollout: who migrated, what failed."""
+
+    week: int
+    scheduled_fraction: float
+    migrated_hosts: int
+    attempts: int
+    failures: int
+
+    @property
+    def failure_rate(self) -> float:
+        return self.failures / self.attempts if self.attempts else 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "week": self.week,
+            "scheduled_fraction": self.scheduled_fraction,
+            "migrated_hosts": self.migrated_hosts,
+            "attempts": self.attempts,
+            "failures": self.failures,
+            "failure_rate": self.failure_rate,
+        }
+
+
+@dataclass
+class MigrationReport:
+    """The Figures 18/19 reproduction: durations + weekly failure curve."""
+
+    fleet: str
+    task: str
+    deadline: float
+    from_controller: str
+    to_controller: str
+    durations: Dict[str, List[float]]
+    weeks: List[MigrationWeek]
+    sweep: SweepReport
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema": "repro.fleet.migration/1",
+            "fleet": self.fleet,
+            "task": self.task,
+            "deadline": self.deadline,
+            "from_controller": self.from_controller,
+            "to_controller": self.to_controller,
+            "durations": {key: list(values) for key, values in self.durations.items()},
+            "weeks": [week.to_dict() for week in self.weeks],
+        }
+
+
+def duration_cells(spec: FleetSpec, plan: MigrationPlan) -> List[Dict[str, Any]]:
+    """One sweep cell per (host group, controller, sample index)."""
+    cells: List[Dict[str, Any]] = []
+    for group in spec.hosts:
+        for controller in (plan.from_controller, plan.to_controller):
+            for sample in range(plan.samples):
+                cell: Dict[str, Any] = {
+                    "id": f"{group.name}:{controller}:{sample}",
+                    "group": group.name,
+                    "device": group.device,
+                    "controller": controller,
+                    "task": (
+                        plan.task
+                        if isinstance(plan.task, str)
+                        else dict(plan.task)
+                    ),
+                    "sample": sample,
+                    "settle": plan.settle,
+                }
+                if group.device_scale is not None:
+                    cell["device_scale"] = group.device_scale
+                if plan.iolatency and controller == "iolatency":
+                    cell["iolatency"] = dict(plan.iolatency)
+                if plan.qos is not None and controller == "iocost":
+                    cell["qos"] = dict(plan.qos)
+                cells.append(cell)
+    return cells
+
+
+def run_staged_migration(
+    spec: FleetSpec,
+    store: Union[ArtifactStore, str, Path],
+    workers: int = 1,
+    clock: Optional[Clock] = None,
+    force: bool = False,
+    retries: int = 1,
+    timeout_sec: Optional[float] = None,
+) -> MigrationReport:
+    """Reproduce Figures 18/19 through the scheduler's rollout policy.
+
+    Per-(group, controller) task-duration distributions are measured by
+    sharded, cached machine simulations; the scheduler's label-keyed
+    migration order decides **which** hosts are on the new stack each
+    week; the weekly failure Monte Carlo draws every (week, group, cohort)
+    from its own labeled substream.
+    """
+    plan = spec.migration
+    if plan is None:
+        raise FleetRunnerError(
+            f"fleet spec {spec.name!r} has no [migration] section"
+        )
+    task = plan.system_task()
+    sweep_spec = ExperimentSpec(
+        name=f"{spec.name}:durations",
+        kind=TASK_KIND,
+        base={},
+        zip_axes={"cell": tuple(duration_cells(spec, plan))},
+        seed=spec.seed,
+    )
+    sweep = run_sweep(
+        sweep_spec,
+        store,
+        workers=workers,
+        clock=clock,
+        force=force,
+        retries=retries,
+        timeout_sec=timeout_sec,
+    )
+    durations: Dict[str, List[float]] = {}
+    for outcome in sweep.outcomes:
+        if not outcome.ok or outcome.result is None:
+            cell = outcome.run.params["cell"]
+            raise FleetRunnerError(
+                f"duration cell {cell['id']!r} failed: {outcome.error}"
+            )
+        result = outcome.result
+        key = f"{result['group']}:{result['controller']}"
+        durations.setdefault(key, []).append(float(result["duration_sec"]))
+
+    scheduler = FleetScheduler(spec, group_capacities(spec))
+    backends = {
+        group.name: FleetMigration(
+            durations[f"{group.name}:{plan.from_controller}"],
+            durations[f"{group.name}:{plan.to_controller}"],
+            deadline=task.deadline,
+            machines=group.count,
+            tasks_per_machine_week=plan.tasks_per_host_week,
+            seed=spec.seed,
+        )
+        for group in spec.hosts
+    }
+    group_of = {host.id: host.group for host in scheduler.hosts}
+    weeks: List[MigrationWeek] = []
+    for week, fraction in enumerate(plan.schedule):
+        assignment = scheduler.staged_controllers(
+            fraction, plan.from_controller, plan.to_controller
+        )
+        migrated_hosts = sum(
+            1 for ctl in assignment.values() if ctl == plan.to_controller
+        )
+        attempts = 0
+        failures = 0
+        for group in spec.hosts:
+            members = [
+                host_id
+                for host_id, g in group_of.items()
+                if g == group.name
+            ]
+            on_new = sum(
+                1
+                for host_id in members
+                if assignment[host_id] == plan.to_controller
+            )
+            on_old = len(members) - on_new
+            per_week = plan.tasks_per_host_week
+            backend = backends[group.name]
+            failures += backend.sample_failures(
+                f"week:{week}:group:{group.name}:old",
+                backend.old,
+                on_old * per_week,
+            )
+            failures += backend.sample_failures(
+                f"week:{week}:group:{group.name}:new",
+                backend.new,
+                on_new * per_week,
+            )
+            attempts += len(members) * per_week
+        weeks.append(
+            MigrationWeek(
+                week=week,
+                scheduled_fraction=float(fraction),
+                migrated_hosts=migrated_hosts,
+                attempts=attempts,
+                failures=failures,
+            )
+        )
+    return MigrationReport(
+        fleet=spec.name,
+        task=task.name,
+        deadline=float(task.deadline),
+        from_controller=plan.from_controller,
+        to_controller=plan.to_controller,
+        durations=durations,
+        weeks=weeks,
+        sweep=sweep,
+    )
+
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "FleetReport",
+    "FleetRunnerError",
+    "HOST_KIND",
+    "MigrationReport",
+    "MigrationWeek",
+    "POLICY_PASSES",
+    "TASK_KIND",
+    "duration_cells",
+    "fleet_sweep_spec",
+    "host_params",
+    "run_fleet_sweep",
+    "run_staged_migration",
+]

@@ -167,6 +167,45 @@ class Histogram:
             self._buckets[index] = self._buckets.get(index, 0) + bucket_count
         return self
 
+    def to_dict(self) -> Dict[str, object]:
+        """Canonical-JSON-able snapshot of the full histogram state.
+
+        Bucket indices become string keys (JSON object keys are strings);
+        infinities — the empty histogram's min/max sentinels — are shipped
+        as ``None`` because canonical JSON forbids non-finite floats.
+        :meth:`from_dict` round-trips exactly, which is what lets per-host
+        latency histograms travel through ``result.json`` and be merged
+        fleet-wide (:mod:`repro.fleet.rollup`).
+        """
+        return {
+            "resolution": self.resolution,
+            "count": self.count,
+            "sum": self.sum,
+            "min": None if math.isinf(self.min) else self.min,
+            "max": None if math.isinf(self.max) else self.max,
+            "zero": self._zero,
+            "buckets": {
+                str(index): count for index, count in sorted(self._buckets.items())
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object], name: str = "") -> "Histogram":
+        """Rebuild a histogram from :meth:`to_dict` output."""
+        hist = cls(name, resolution=float(data["resolution"]))  # type: ignore[arg-type]
+        hist.count = int(data["count"])  # type: ignore[arg-type]
+        hist.sum = float(data["sum"])  # type: ignore[arg-type]
+        minimum = data.get("min")
+        maximum = data.get("max")
+        hist.min = math.inf if minimum is None else float(minimum)  # type: ignore[arg-type]
+        hist.max = -math.inf if maximum is None else float(maximum)  # type: ignore[arg-type]
+        hist._zero = int(data.get("zero", 0))  # type: ignore[arg-type]
+        buckets = data.get("buckets", {})
+        if not isinstance(buckets, dict):
+            raise ValueError("histogram 'buckets' must be a mapping")
+        hist._buckets = {int(index): int(count) for index, count in buckets.items()}
+        return hist
+
     def summary(self) -> Dict[str, float]:
         """The io.stat-friendly flat view: count/mean/p50/p95/p99/max."""
         if self.count == 0:

@@ -18,12 +18,24 @@ reproduce the *generating process*:
    empirical duration distribution of whichever controller it currently
    runs.  Weekly failure counts (duration > deadline) fall as the migration
    fraction ramps — the Figures 18/19 series.
+
+This module is the Monte Carlo *backend*; the cluster-scale frontend —
+host placement, the staged migration policy, fleet rollups — lives in
+:mod:`repro.fleet`, whose scheduler calls down into these functions.
+
+Every random draw here comes from a **label-keyed stream** rooted at the
+caller's seed (:func:`rng_for`, the :meth:`repro.testbed.Testbed.rng_for`
+pattern): each (week, cohort) of the Monte Carlo and each component of the
+per-machine simulation owns its own ``SeedSequence`` substream, so changing
+the machine count, the migration schedule, or the sample count never
+perturbs draws that other consumers have already taken.
 """
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Sequence
+from typing import Callable, Dict, List, Sequence, Union
 
 import numpy as np
 
@@ -32,10 +44,33 @@ from repro.block.device import Device, DeviceSpec
 from repro.block.layer import BlockLayer
 from repro.cgroup import make_meta_hierarchy
 from repro.controllers.base import IOController
+from repro.sanitize import SANITIZE
 from repro.sim import Simulator
 from repro.workloads.synthetic import ClosedLoopWorkload
 
 MB = 1024 * 1024
+
+#: Machine-to-machine variance applied to every Monte Carlo attempt.
+JITTER_SIGMA = 0.35
+
+
+def stream_seed(label: str, entropy: int) -> np.random.SeedSequence:
+    """Seed material for one named substream of ``entropy``.
+
+    Keyed by a hash of ``label`` — not by spawn order — so a stream's draws
+    are identical no matter which other streams exist (the
+    :meth:`repro.testbed.Testbed.rng_for` determinism contract).
+    """
+    key = int.from_bytes(hashlib.sha256(label.encode()).digest()[:8], "big")
+    seq = np.random.SeedSequence(entropy=entropy, spawn_key=(key,))
+    if SANITIZE.enabled:
+        SANITIZE.check_stream(label, seq)
+    return seq
+
+
+def rng_for(label: str, entropy: int) -> np.random.Generator:
+    """A dedicated generator for one named substream of ``entropy``."""
+    return np.random.default_rng(stream_seed(label, entropy))
 
 
 @dataclass(frozen=True)
@@ -75,6 +110,15 @@ CONTAINER_CLEANUP = SystemTask(
     deadline=5.0,
 )
 
+#: The named system tasks the fleet layer's specs can reference.
+TASKS: Dict[str, SystemTask] = {
+    PACKAGE_FETCH.name: PACKAGE_FETCH,
+    CONTAINER_CLEANUP.name: CONTAINER_CLEANUP,
+}
+
+#: Metadata IOs kept in flight at once by the system task.
+META_BATCH = 8
+
 
 def run_task_once(
     spec: DeviceSpec,
@@ -88,9 +132,11 @@ def run_task_once(
 
     The main workload saturates the device with mixed reads/writes at
     ``workload_depth`` outstanding IOs while the task runs in its slice.
+    Completions ride the block layer's callback fast path (``on_done=``,
+    docs/PERF.md) — no Signal allocation per bio.
     """
     sim = Simulator()
-    device = Device(sim, spec, np.random.default_rng(seed))
+    device = Device(sim, spec, rng_for("fleet:device", seed))
     controller = controller_factory()
     layer = BlockLayer(sim, device, controller)
     cgroups = make_meta_hierarchy()
@@ -98,46 +144,57 @@ def run_task_once(
     task_group = cgroups.lookup(task.cgroup_path)
 
     ClosedLoopWorkload(
-        sim, layer, busy, op=IOOp.READ, depth=workload_depth, seed=seed + 1
+        sim, layer, busy, op=IOOp.READ, depth=workload_depth,
+        seed=stream_seed("fleet:main:read", seed),
     ).start()
     ClosedLoopWorkload(
         sim, layer, busy, op=IOOp.WRITE, depth=max(2, workload_depth // 2),
-        seed=seed + 2,
+        seed=stream_seed("fleet:main:write", seed),
     ).start()
     sim.run(until=settle)
 
-    rng = np.random.default_rng(seed + 3)
+    rng = rng_for("fleet:task", seed)
     done = {"at": None}
+    seq = {
+        "sector": int(rng.integers(1 << 22, 1 << 23)) * 8,
+        "remaining": task.seq_write_bytes,
+    }
+    meta = {"issued": 0, "inflight": 0}
 
-    def task_process():
-        # Sequential payload write, 1 MiB at a time.
-        sector = int(rng.integers(1 << 22, 1 << 23)) * 8
-        remaining = task.seq_write_bytes
-        while remaining > 0:
-            size = min(1 * MB, remaining)
-            bio = Bio(IOOp.WRITE, size, sector, task_group)
-            sector += size // 512
-            remaining -= size
-            signal = layer.submit(bio)
-            if not signal.fired:
-                yield signal
-        # Metadata IOs, moderately concurrent (batches of 8).
-        batch = 8
-        issued = 0
-        while issued < task.small_ios:
-            signals = []
-            for _ in range(min(batch, task.small_ios - issued)):
-                sector = int(rng.integers(1, 1 << 26)) * 8
-                bio = Bio(task.small_io_op, task.small_io_size, sector, task_group)
-                signals.append(layer.submit(bio))
-                issued += 1
-            for signal in signals:
-                if not signal.fired:
-                    yield signal
-        done["at"] = sim.now
+    def issue_seq() -> None:
+        # Sequential payload write, 1 MiB at a time, one chunk in flight.
+        if seq["remaining"] <= 0:
+            issue_meta_batch()
+            return
+        size = min(1 * MB, seq["remaining"])
+        bio = Bio(IOOp.WRITE, size, seq["sector"], task_group)
+        seq["sector"] += size // 512
+        seq["remaining"] -= size
+        layer.submit(bio, on_done=seq_done)
+
+    def seq_done(bio: Bio) -> None:
+        issue_seq()
+
+    def issue_meta_batch() -> None:
+        # Metadata IOs, moderately concurrent (batches of META_BATCH).
+        if meta["issued"] >= task.small_ios:
+            done["at"] = sim.now
+            return
+        batch = min(META_BATCH, task.small_ios - meta["issued"])
+        meta["inflight"] = batch
+        for _ in range(batch):
+            sector = int(rng.integers(1, 1 << 26)) * 8
+            bio = Bio(task.small_io_op, task.small_io_size, sector, task_group)
+            meta["issued"] += 1
+            layer.submit(bio, on_done=meta_done)
+
+    def meta_done(bio: Bio) -> None:
+        meta["inflight"] -= 1
+        if meta["inflight"] == 0:
+            issue_meta_batch()
 
     start = sim.now
-    sim.process(task_process(), name=task.name)
+    issue_seq()
     # Generous wall guard: run until the task completes.
     while done["at"] is None:
         if not sim.step():
@@ -158,13 +215,18 @@ def measure_task_durations(
     samples: int = 12,
     seed: int = 0,
 ) -> List[float]:
-    """Empirical duration distribution across workload intensities."""
-    rng = np.random.default_rng(seed)
+    """Empirical duration distribution across workload intensities.
+
+    Each sample owns two labeled substreams — one for its workload depth,
+    one seeding its machine simulation — so raising ``samples`` extends the
+    distribution without re-rolling the samples already taken.
+    """
     durations = []
     for index in range(samples):
-        depth = int(rng.integers(8, 64))
+        depth = int(rng_for(f"fleet:depth:{index}", seed).integers(8, 64))
+        run_seed = int(rng_for(f"fleet:sample:{index}", seed).integers(1 << 62))
         durations.append(
-            run_task_once(spec, controller_factory, task, depth, seed=seed + index * 101)
+            run_task_once(spec, controller_factory, task, depth, seed=run_seed)
         )
     return durations
 
@@ -182,7 +244,14 @@ class WeeklyReport:
 
 
 class FleetMigration:
-    """Region Monte Carlo over a staged IOLatency→IOCost migration."""
+    """Region Monte Carlo over a staged IOLatency→IOCost migration.
+
+    Every (week, cohort) samples from its **own** labeled substream
+    (:meth:`sample_failures`), so changing ``machines`` or the migration
+    schedule re-rolls exactly the cohorts it resizes — every other week's
+    draws are untouched.  (The pre-PR-10 implementation consumed one shared
+    generator sequentially, so any such change perturbed all later weeks.)
+    """
 
     def __init__(
         self,
@@ -200,26 +269,42 @@ class FleetMigration:
         self.deadline = deadline
         self.machines = machines
         self.tasks_per_machine_week = tasks_per_machine_week
-        self.rng = np.random.default_rng(seed)
+        self.seed = seed
+
+    def sample_failures(
+        self,
+        label: str,
+        durations: Union[Sequence[float], np.ndarray],
+        attempts: int,
+    ) -> int:
+        """Failure count for one cohort, drawn from the cohort's own stream.
+
+        ``label`` names the cohort (``"week:3:old"``, or the fleet layer's
+        ``"week:3:group:web:new"``); per-attempt lognormal jitter models
+        machine-to-machine variance.
+        """
+        if attempts <= 0:
+            return 0
+        rng = rng_for(f"fleet:mc:{label}", self.seed)
+        draws = rng.choice(np.asarray(durations), size=attempts)
+        draws = draws * rng.lognormal(0.0, JITTER_SIGMA, size=attempts)
+        return int(np.count_nonzero(draws > self.deadline))
 
     def run(self, migration_schedule: Sequence[float]) -> List[WeeklyReport]:
         """``migration_schedule[w]`` = fraction of machines on IOCost in week w."""
         reports = []
         for week, fraction in enumerate(migration_schedule):
             migrated = int(self.machines * min(1.0, max(0.0, fraction)))
-            failures = 0
             attempts = self.machines * self.tasks_per_machine_week
-            # Vectorised sampling: durations for old- and new-stack machines.
-            old_n = (self.machines - migrated) * self.tasks_per_machine_week
-            new_n = migrated * self.tasks_per_machine_week
-            if old_n:
-                draws = self.rng.choice(self.old, size=old_n)
-                # Per-attempt jitter models machine-to-machine variance.
-                draws = draws * self.rng.lognormal(0.0, 0.35, size=old_n)
-                failures += int(np.count_nonzero(draws > self.deadline))
-            if new_n:
-                draws = self.rng.choice(self.new, size=new_n)
-                draws = draws * self.rng.lognormal(0.0, 0.35, size=new_n)
-                failures += int(np.count_nonzero(draws > self.deadline))
+            failures = self.sample_failures(
+                f"week:{week}:old",
+                self.old,
+                (self.machines - migrated) * self.tasks_per_machine_week,
+            )
+            failures += self.sample_failures(
+                f"week:{week}:new",
+                self.new,
+                migrated * self.tasks_per_machine_week,
+            )
             reports.append(WeeklyReport(week, fraction, attempts, failures))
         return reports

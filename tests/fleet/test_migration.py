@@ -1,0 +1,92 @@
+"""The staged-migration policy: the Figures 18/19 curve, in miniature.
+
+ISSUE acceptance: the failure rate must fall as the IOCost fraction
+ramps.  The full-size region reproduction lives in
+``benchmarks/test_fig18_package_fetch.py`` / ``test_fig19_container_cleanup.py``
+(now driven through this same policy); this tier-1 version uses a small
+cleanup task and few samples so it stays cheap.
+"""
+
+import pytest
+
+from repro.exp.spec import canonical_json
+from repro.fleet.runner import run_staged_migration
+from repro.fleet.spec import FleetSpec
+
+from tests.fleet.conftest import FLEETDEV
+
+MIGRATION_DOC = {
+    "name": "mini-migration",
+    "seed": 9,
+    "capacity": "rated",
+    "hosts": {
+        "web": {"count": 6, "device": dict(FLEETDEV)},
+    },
+    "workloads": [],
+    "migration": {
+        "schedule": [0.0, 0.5, 1.0],
+        "samples": 2,
+        "tasks_per_host_week": 10,
+        "settle": 0.3,
+        "task": {
+            "name": "cleanup_small",
+            "cgroup": "hostcritical.slice",
+            "small_ios": 400,
+            "op": "write",
+            "deadline": 1.5,
+        },
+    },
+}
+
+
+@pytest.fixture(scope="module")
+def report(tmp_path_factory):
+    spec = FleetSpec.from_dict(MIGRATION_DOC)
+    store = tmp_path_factory.mktemp("migration")
+    return spec, store, run_staged_migration(spec, store, workers=4)
+
+
+class TestFailureCurve:
+    def test_failures_fall_as_iocost_ramps(self, report):
+        _, _, result = report
+        weeks = result.weeks
+        assert weeks[0].failures > 0  # IOLatency starves the cleanup task
+        assert weeks[-1].failures < weeks[0].failures / 5
+        rates = [week.failure_rate for week in weeks]
+        # Monotone-ish decline, same slack as the paper-figure benchmarks.
+        assert all(b <= a * 1.25 for a, b in zip(rates, rates[1:]))
+
+    def test_rollout_tracks_schedule(self, report):
+        _, _, result = report
+        assert [w.migrated_hosts for w in result.weeks] == [0, 3, 6]
+        assert [w.attempts for w in result.weeks] == [60, 60, 60]
+
+    def test_iocost_bounds_task_durations(self, report):
+        _, _, result = report
+        old = result.durations["web:iolatency"]
+        new = result.durations["web:iocost"]
+        assert len(old) == len(new) == 2
+        # Every IOCost sample beats the deadline; IOLatency lets at least
+        # one sample blow through it (that is the whole Figure 19 story).
+        assert all(d <= result.deadline for d in new)
+        assert any(d > result.deadline for d in old)
+
+
+class TestMigrationDeterminism:
+    def test_rerun_from_cache_is_identical(self, report):
+        spec, store, result = report
+        again = run_staged_migration(spec, store, workers=1)
+        assert again.sweep.hit_rate == 1.0
+        assert canonical_json(again.to_dict()) == canonical_json(result.to_dict())
+
+    def test_report_document_shape(self, report):
+        _, _, result = report
+        doc = result.to_dict()
+        assert doc["schema"] == "repro.fleet.migration/1"
+        assert doc["task"] == "cleanup_small"
+        assert doc["from_controller"] == "iolatency"
+        assert doc["to_controller"] == "iocost"
+        assert len(doc["weeks"]) == 3
+        assert doc["weeks"][0]["failure_rate"] == pytest.approx(
+            doc["weeks"][0]["failures"] / doc["weeks"][0]["attempts"]
+        )

@@ -1,0 +1,220 @@
+"""Fleet spec loading, validation, round-tripping, and content hashing."""
+
+import json
+
+import pytest
+
+from repro.block.device import DeviceSpec
+from repro.fleet.spec import (
+    FleetSpec,
+    FleetSpecError,
+    HostGroup,
+    MigrationPlan,
+    WorkloadTemplate,
+    device_spec_for,
+    load_fleet_spec,
+    task_from_config,
+)
+from repro.workloads.fleet import TASKS
+
+from tests.fleet.conftest import FLEETDEV, fleet_doc
+
+
+class TestLoading:
+    def test_load_toml(self, tmp_path):
+        path = tmp_path / "fleet.toml"
+        path.write_text(
+            'name = "toml-fleet"\n'
+            "seed = 3\n"
+            '[hosts.web]\n'
+            "count = 2\n"
+            'device = "ssd_new"\n'
+            "device_scale = 0.05\n"
+            "[[workloads]]\n"
+            'name = "fe"\n'
+            "count = 2\n"
+            'cgroup = "workload.slice/fe"\n'
+            'type = "paced"\n'
+            "rate = 100\n"
+        )
+        spec = load_fleet_spec(path)
+        assert spec.name == "toml-fleet"
+        assert spec.seed == 3
+        assert spec.host_count == 2
+        assert spec.workloads[0].demand() == 100.0
+
+    def test_load_json(self, tmp_path):
+        path = tmp_path / "fleet.json"
+        path.write_text(json.dumps(fleet_doc()))
+        spec = load_fleet_spec(path)
+        assert spec.host_count == 4
+
+    def test_round_trip(self):
+        doc = fleet_doc(
+            migration={
+                "schedule": [0.0, 0.5, 1.0],
+                "task": "container_cleanup",
+                "samples": 2,
+            }
+        )
+        spec = FleetSpec.from_dict(doc)
+        again = FleetSpec.from_dict(spec.to_dict())
+        assert again == spec
+        assert again.fleet_hash == spec.fleet_hash
+
+
+class TestContentHash:
+    def test_name_excluded(self):
+        a = FleetSpec.from_dict(fleet_doc(name="alpha"))
+        b = FleetSpec.from_dict(fleet_doc(name="beta"))
+        assert a.fleet_hash == b.fleet_hash
+
+    def test_seed_changes_hash(self):
+        a = FleetSpec.from_dict(fleet_doc(seed=1))
+        b = FleetSpec.from_dict(fleet_doc(seed=2))
+        assert a.fleet_hash != b.fleet_hash
+
+    def test_host_table_order_irrelevant(self):
+        groups = {
+            "web": {"count": 2, "device": "ssd_new", "device_scale": 0.05},
+            "db": {"count": 3, "device": "ssd_old", "device_scale": 0.05},
+        }
+        forward = FleetSpec.from_dict(fleet_doc(hosts=dict(groups)))
+        reversed_doc = fleet_doc(
+            hosts={k: groups[k] for k in reversed(list(groups))}
+        )
+        backward = FleetSpec.from_dict(reversed_doc)
+        assert forward == backward
+        # Groups come out sorted by name regardless of insertion order.
+        assert [g.name for g in forward.hosts] == ["db", "web"]
+
+
+class TestValidation:
+    def test_unknown_top_level_key(self):
+        with pytest.raises(FleetSpecError, match="unknown fleet spec keys"):
+            FleetSpec.from_dict(fleet_doc(frobnicate=1))
+
+    def test_unknown_host_group_key(self):
+        doc = fleet_doc()
+        doc["hosts"]["web"]["typo"] = True
+        with pytest.raises(FleetSpecError, match="unknown host group"):
+            FleetSpec.from_dict(doc)
+
+    def test_missing_hosts(self):
+        doc = fleet_doc()
+        del doc["hosts"]
+        with pytest.raises(FleetSpecError, match="hosts"):
+            FleetSpec.from_dict(doc)
+
+    def test_bad_policy(self):
+        with pytest.raises(FleetSpecError, match="policy"):
+            FleetSpec.from_dict(fleet_doc(policy="worst_fit"))
+
+    def test_bad_capacity_mode(self):
+        with pytest.raises(FleetSpecError, match="capacity"):
+            FleetSpec.from_dict(fleet_doc(capacity="vibes"))
+
+    def test_duplicate_workload_names(self):
+        wl = fleet_doc()["workloads"][0]
+        with pytest.raises(FleetSpecError, match="duplicate workload"):
+            FleetSpec.from_dict(fleet_doc(workloads=[wl, dict(wl)]))
+
+    def test_workload_needs_positive_demand(self):
+        with pytest.raises(FleetSpecError, match="demand_iops"):
+            WorkloadTemplate(name="x", count=1, cgroup="w", type="saturate")
+
+    def test_workload_unknown_type(self):
+        with pytest.raises(FleetSpecError, match="unknown type"):
+            WorkloadTemplate(
+                name="x", count=1, cgroup="w", type="mystery", demand_iops=1
+            )
+
+    def test_host_group_count(self):
+        with pytest.raises(FleetSpecError, match="count"):
+            HostGroup(name="web", count=0, device="ssd_new")
+
+    def test_host_group_bad_device(self):
+        with pytest.raises(FleetSpecError):
+            HostGroup(name="web", count=1, device="floppy_drive_9000")
+
+
+class TestDeviceResolution:
+    def test_catalogue_name(self):
+        spec = device_spec_for("ssd_new")
+        assert isinstance(spec, DeviceSpec)
+
+    def test_scale_applied(self):
+        full = device_spec_for("ssd_new")
+        scaled = device_spec_for("ssd_new", 0.5)
+        assert scaled.read_bw == pytest.approx(full.read_bw * 0.5)
+
+    def test_inline_table(self):
+        spec = device_spec_for(FLEETDEV)
+        assert spec.parallelism == 4
+        assert spec.name == "inline"  # auto-filled default
+
+    def test_inline_table_bad_field(self):
+        with pytest.raises(FleetSpecError, match="inline device"):
+            device_spec_for({**FLEETDEV, "warp_factor": 9})
+
+    def test_inline_device_in_host_group(self):
+        doc = fleet_doc()
+        doc["hosts"]["web"] = {"count": 2, "device": dict(FLEETDEV)}
+        spec = FleetSpec.from_dict(doc)
+        assert spec.fleet_hash  # content-addressable with an inline table
+
+
+class TestTaskConfig:
+    def test_catalogue_name(self):
+        task = task_from_config("container_cleanup")
+        assert task is TASKS["container_cleanup"]
+
+    def test_unknown_name(self):
+        with pytest.raises(FleetSpecError, match="unknown system task"):
+            task_from_config("defrag_the_cloud")
+
+    def test_inline_table(self):
+        task = task_from_config(
+            {
+                "name": "tiny",
+                "cgroup": "system.slice",
+                "small_ios": 10,
+                "op": "read",
+                "deadline": 2.0,
+            }
+        )
+        assert task.name == "tiny"
+        assert task.deadline == 2.0
+        assert task.small_io_op.value == "read"
+
+    def test_inline_table_bad_op(self):
+        with pytest.raises(FleetSpecError, match="read|write"):
+            task_from_config({"name": "t", "op": "scribble", "deadline": 1.0})
+
+    def test_inline_table_needs_deadline(self):
+        with pytest.raises(FleetSpecError, match="deadline"):
+            task_from_config({"name": "t"})
+
+
+class TestMigrationPlan:
+    def test_defaults(self):
+        plan = MigrationPlan(schedule=(0.0, 1.0))
+        assert plan.from_controller == "iolatency"
+        assert plan.to_controller == "iocost"
+        assert plan.system_task().name == "container_cleanup"
+
+    def test_empty_schedule(self):
+        with pytest.raises(FleetSpecError, match="schedule"):
+            MigrationPlan(schedule=())
+
+    def test_fraction_out_of_range(self):
+        with pytest.raises(FleetSpecError, match=r"\[0, 1\]"):
+            MigrationPlan(schedule=(0.0, 1.5))
+
+    def test_unknown_key(self):
+        with pytest.raises(FleetSpecError, match="unknown migration"):
+            MigrationPlan.from_dict({"schedule": [0.0], "surprise": 1})
+
+    def test_bad_task_rejected_early(self):
+        with pytest.raises(FleetSpecError, match="unknown system task"):
+            MigrationPlan(schedule=(0.0,), task="nope")

@@ -89,6 +89,36 @@ class TestHistogram:
         assert summary["max"] == 2e-3
 
 
+class TestHistogramSerialization:
+    def test_round_trip_preserves_everything(self):
+        rng = np.random.default_rng(9)
+        histogram = Histogram("lat", resolution=0.02)
+        histogram.record_many(rng.lognormal(-6, 1, 500))
+        clone = Histogram.from_dict(histogram.to_dict(), name="lat")
+        assert clone.to_dict() == histogram.to_dict()
+        assert clone.count == histogram.count
+        for pct in (50, 95, 99):
+            assert clone.percentile(pct) == histogram.percentile(pct)
+
+    def test_empty_round_trip(self):
+        clone = Histogram.from_dict(Histogram(resolution=0.05).to_dict())
+        assert clone.count == 0
+        assert clone.resolution == 0.05
+
+    def test_round_tripped_histograms_merge(self):
+        # The fleet rollup's whole pipeline: record on the host, serialize
+        # into result.json, deserialize in the aggregator, merge.
+        a, b = Histogram(resolution=0.02), Histogram(resolution=0.02)
+        a.record_many([1e-3] * 10)
+        b.record_many([4e-3] * 30)
+        merged = Histogram.from_dict(a.to_dict())
+        merged.merge(Histogram.from_dict(b.to_dict()))
+        assert merged.count == 40
+        assert merged.min == 1e-3
+        assert merged.max == 4e-3
+        assert merged.percentile(99) == pytest.approx(4e-3, rel=0.021)
+
+
 class TestRegistry:
     def test_metrics_are_memoised(self):
         registry = MetricRegistry()
